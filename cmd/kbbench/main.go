@@ -1,0 +1,167 @@
+// Command kbbench regenerates every table and figure of the paper's
+// experimental study (§6), printing the same rows/series the paper
+// reports. By default it runs at the paper's scale; -scale shrinks every
+// workload proportionally for quick smoke runs.
+//
+// Usage:
+//
+//	kbbench -exp all                 # every experiment, paper scale
+//	kbbench -exp fig2                # Figure 2 (a)-(d), Durum Wheat v1+v2
+//	kbbench -exp fig5c -scale 0.25   # quarter-scale Figure 5(c)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kbrepair/internal/durum"
+	"kbrepair/internal/exp"
+)
+
+func main() {
+	var (
+		which = flag.String("exp", "all", "experiment: fig2 | fig3 | fig4a | fig4b | fig5a | fig5b | fig5c | usermodel | ablation | all")
+		scale = flag.Float64("scale", 1.0, "workload scale factor (sizes multiplied by this)")
+		reps  = flag.Int("reps", 0, "override repetition count (0 = paper value)")
+		seed  = flag.Int64("seed", 1, "base random seed")
+	)
+	flag.Parse()
+	if err := run(*which, *scale, *reps, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "kbbench:", err)
+		os.Exit(1)
+	}
+}
+
+func scaleInt(n int, s float64) int {
+	v := int(float64(n) * s)
+	if v < 10 {
+		v = 10
+	}
+	return v
+}
+
+func pickReps(def, override int) int {
+	if override > 0 {
+		return override
+	}
+	return def
+}
+
+func run(which string, scale float64, reps int, seed int64) error {
+	runAll := which == "all"
+	out := os.Stdout
+	ran := false
+
+	if runAll || which == "fig2" {
+		ran = true
+		for _, v := range []durum.Version{durum.V1, durum.V2} {
+			res, err := exp.RunFig2(v, pickReps(10, reps), seed)
+			if err != nil {
+				return err
+			}
+			exp.WriteFig2(out, res)
+		}
+	}
+	if runAll || which == "fig3" {
+		ran = true
+		p := exp.DefaultFig3()
+		p.NumFacts = scaleInt(p.NumFacts, scale)
+		p.Reps = pickReps(p.Reps, reps)
+		p.Seed = seed
+		rows, err := exp.RunFig3(p)
+		if err != nil {
+			return err
+		}
+		exp.WriteFig3(out, rows)
+	}
+	if runAll || which == "fig4a" {
+		ran = true
+		p := exp.DefaultFig4a()
+		p.NumFacts = scaleInt(p.NumFacts, scale)
+		p.Seed = seed + 4
+		series, info, err := exp.RunFig4(p)
+		if err != nil {
+			return err
+		}
+		exp.WriteConvergence(out, fmt.Sprintf("%d atoms, 25%%, CDDs only", p.NumFacts), series, info)
+	}
+	if runAll || which == "fig4b" {
+		ran = true
+		p := exp.DefaultFig4b()
+		p.NumFacts = scaleInt(p.NumFacts, scale)
+		p.Seed = seed + 5
+		series, info, err := exp.RunFig4(p)
+		if err != nil {
+			return err
+		}
+		exp.WriteConvergence(out, fmt.Sprintf("%d atoms, 25%%, 50 CDDs + 25 TGDs", p.NumFacts), series, info)
+	}
+	if runAll || which == "fig5a" {
+		ran = true
+		p := exp.DefaultFig5a()
+		p.NumFacts = scaleInt(p.NumFacts, scale)
+		p.Reps = pickReps(p.Reps, reps)
+		p.Seed = seed + 6
+		points, err := exp.RunFig5a(p)
+		if err != nil {
+			return err
+		}
+		exp.WriteDelays(out, "(a) delay vs. inconsistency ratio", points)
+	}
+	if runAll || which == "fig5b" {
+		ran = true
+		p := exp.DefaultFig5b()
+		p.BaseFacts = scaleInt(p.BaseFacts, scale)
+		p.Reps = pickReps(p.Reps, reps)
+		p.Seed = seed + 7
+		points, err := exp.RunFig5b(p)
+		if err != nil {
+			return err
+		}
+		exp.WriteDelays(out, "(b) delay vs. KB size", points)
+	}
+	if runAll || which == "fig5c" {
+		ran = true
+		p := exp.DefaultFig5c()
+		p.NumFacts = scaleInt(p.NumFacts, scale)
+		p.NumCDDs = scaleInt(p.NumCDDs, scale)
+		p.TGDsPerStep = scaleInt(p.TGDsPerStep, scale)
+		p.Reps = pickReps(p.Reps, reps)
+		p.Seed = seed + 8
+		points, err := exp.RunFig5c(p)
+		if err != nil {
+			return err
+		}
+		exp.WriteDelays(out, "(c) delay vs. dependency depth", points)
+	}
+	if runAll || which == "usermodel" {
+		ran = true
+		p := exp.DefaultUserModel()
+		p.NumFacts = scaleInt(p.NumFacts, scale)
+		p.Reps = pickReps(p.Reps, reps)
+		p.Seed = seed + 11
+		points, err := exp.RunUserModel(p)
+		if err != nil {
+			return err
+		}
+		exp.WriteUserModel(out, points)
+	}
+	if runAll || which == "ablation" {
+		ran = true
+		pi, err := exp.RunAblationPiRep(seed + 9)
+		if err != nil {
+			return err
+		}
+		exp.WriteAblation(out, pi)
+		inc, err := exp.RunAblationIncremental(seed + 9)
+		if err != nil {
+			return err
+		}
+		exp.WriteAblation(out, inc)
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", which)
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package main
+
+import "testing"
+
+func TestScaleInt(t *testing.T) {
+	if scaleInt(1000, 0.5) != 500 {
+		t.Error("scale half")
+	}
+	if scaleInt(1000, 0.001) != 10 {
+		t.Error("scale floor")
+	}
+}
+
+func TestPickReps(t *testing.T) {
+	if pickReps(5, 0) != 5 || pickReps(5, 2) != 2 {
+		t.Error("pickReps")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nope", 1, 1, 1); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestRunTinyExperiments smoke-runs every experiment at minimal scale.
+func TestRunTinyExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	for _, exp := range []string{"fig3", "fig4a", "fig4b", "fig5a", "fig5b", "fig5c", "usermodel"} {
+		if err := run(exp, 0.02, 1, 1); err != nil {
+			t.Errorf("%s: %v", exp, err)
+		}
+	}
+}

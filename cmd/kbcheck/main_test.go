@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeKB(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.kb")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunInconsistentKB(t *testing.T) {
+	path := writeKB(t, `
+prescribed(Aspirin, John).
+hasAllergy(John, Aspirin).
+[cdd] prescribed(X, Y), hasAllergy(Y, X) -> !.
+`)
+	if err := run(path, true, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunConsistentKB(t *testing.T) {
+	path := writeKB(t, `
+prescribed(Aspirin, John).
+[cdd] prescribed(X, Y), hasAllergy(Y, X) -> !.
+`)
+	if err := run(path, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithChaseConflicts(t *testing.T) {
+	path := writeKB(t, `
+p(a).
+r(a).
+[tgd] p(X) -> q(X).
+[cdd] q(X), r(X) -> !.
+`)
+	if err := run(path, true, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "nope.kb"), false, false); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunBadSyntax(t *testing.T) {
+	path := writeKB(t, "p(a")
+	if err := run(path, false, false); err == nil {
+		t.Error("bad syntax accepted")
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSynthetic(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "synth.kb")
+	err := run(60, 0.2, 6, 0, 0, 0.3, 8, 3, 0, out, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "[cdd]") {
+		t.Error("generated file has no CDDs")
+	}
+}
+
+func TestRunWithTGDs(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "mixed.kb")
+	if err := run(50, 0.2, 5, 4, 2, 0.3, 8, 3, 0, out, true); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out)
+	if !strings.Contains(string(data), "[tgd]") {
+		t.Error("generated file has no TGDs")
+	}
+}
+
+func TestRunDurum(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "durum.kb")
+	if err := run(0, 0, 0, 0, 0, 0, 0, 0, 1, out, true); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Error("empty durum output")
+	}
+}
+
+func TestRunInvalidParams(t *testing.T) {
+	if err := run(50, 2.5, 5, 0, 0, 0.3, 8, 3, 0, "", true); err == nil {
+		t.Error("invalid ratio accepted")
+	}
+	if err := run(0, 0, 0, 0, 0, 0, 0, 0, 9, "", true); err == nil {
+		t.Error("invalid durum version accepted")
+	}
+}

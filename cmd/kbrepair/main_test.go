@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kbrepair"
+	"kbrepair/internal/core"
+	"kbrepair/internal/inquiry"
+	"kbrepair/internal/logic"
+)
+
+const inconsistentKB = `
+prescribed(Aspirin, John).
+hasAllergy(John, Aspirin).
+hasAllergy(Mike, Penicillin).
+[cdd] prescribed(X, Y), hasAllergy(Y, X) -> !.
+`
+
+func writeKB(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "test.kb")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAuto(t *testing.T) {
+	in := writeKB(t, inconsistentKB)
+	out := filepath.Join(t.TempDir(), "fixed.kb")
+	if err := run(in, "opti-mcd", true, "", 3, out, false, 0, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := kbrepair.LoadKB(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := fixed.IsConsistent(); !ok {
+		t.Error("saved repair not consistent")
+	}
+}
+
+func TestRunBasicMode(t *testing.T) {
+	in := writeKB(t, inconsistentKB)
+	if err := run(in, "random", true, "", 1, "", true, 0, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAlreadyConsistent(t *testing.T) {
+	in := writeKB(t, `p(a). [cdd] p(X), q(X) -> !.`)
+	if err := run(in, "opti-mcd", true, "", 1, "", false, 0, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithOracle(t *testing.T) {
+	in := writeKB(t, inconsistentKB)
+	// Oracle target: allergy belongs to Mike.
+	oracle := writeKB(t, `
+prescribed(Aspirin, John).
+hasAllergy(Mike, Aspirin).
+hasAllergy(Mike, Penicillin).
+[cdd] prescribed(X, Y), hasAllergy(Y, X) -> !.
+`)
+	out := filepath.Join(t.TempDir(), "fixed.kb")
+	if err := run(in, "random", false, oracle, 1, out, true, 0, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := kbrepair.LoadKB(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fixed.Facts.Contains(kbrepair.NewAtom("hasAllergy", kbrepair.Const("Mike"), kbrepair.Const("Aspirin"))) {
+		t.Errorf("oracle repair not applied:\n%s", fixed.Facts)
+	}
+}
+
+func TestRunOracleSizeMismatch(t *testing.T) {
+	in := writeKB(t, inconsistentKB)
+	oracle := writeKB(t, `p(a).`)
+	if err := run(in, "random", false, oracle, 1, "", true, 0, "", ""); err == nil {
+		t.Error("mismatched oracle accepted")
+	}
+}
+
+func TestRunUnknownStrategy(t *testing.T) {
+	in := writeKB(t, inconsistentKB)
+	if err := run(in, "nope", true, "", 1, "", false, 0, "", ""); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestTerminalUser(t *testing.T) {
+	kb, err := kbrepair.ParseKB(inconsistentKB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixes := core.FixSet{
+		{Pos: core.Position{Fact: 0, Arg: 0}, Value: logic.N("n1")},
+		{Pos: core.Position{Fact: 1, Arg: 0}, Value: logic.C("Mike")},
+	}
+	q := inquiry.Question{Fixes: fixes}
+	// Invalid input, then a valid pick of option 2.
+	u := terminalUser{in: bufio.NewReader(strings.NewReader("zzz\n9\n2\n"))}
+	f, err := u.Choose(kb, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != fixes[1] {
+		t.Errorf("chose %v", f)
+	}
+	// EOF without a valid answer errors.
+	u = terminalUser{in: bufio.NewReader(strings.NewReader(""))}
+	if _, err := u.Choose(kb, q); err == nil {
+		t.Error("EOF accepted")
+	}
+}
+
+func TestRunJournalAndReplay(t *testing.T) {
+	in := writeKB(t, inconsistentKB)
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "session.json")
+	out1 := filepath.Join(dir, "fixed1.kb")
+	if err := run(in, "opti-join", true, "", 5, out1, false, 0, journal, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Replay the session on the same input: same repair (up to nulls).
+	out2 := filepath.Join(dir, "fixed2.kb")
+	if err := run(in, "opti-join", false, "", 5, out2, false, 0, "", journal); err != nil {
+		t.Fatal(err)
+	}
+	a, err := kbrepair.LoadKB(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := kbrepair.LoadKB(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Facts.EqualUpToNullRenaming(b.Facts) {
+		t.Errorf("replay produced a different repair:\n%s\nvs\n%s", a.Facts, b.Facts)
+	}
+	if err := run(in, "opti-join", false, "", 5, "", false, 0, "", filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing replay file accepted")
+	}
+}

@@ -1,0 +1,112 @@
+package kbrepair_test
+
+import (
+	"fmt"
+
+	"kbrepair"
+)
+
+// The paper's running example (Figure 1(a)): detect the contradiction and
+// list the conflict.
+func ExampleParseKB() {
+	kb, err := kbrepair.ParseKB(`
+		prescribed(Aspirin, John).
+		hasAllergy(John, Aspirin).
+		[cdd] prescribed(X, Y), hasAllergy(Y, X) -> !.
+	`)
+	if err != nil {
+		panic(err)
+	}
+	consistent, _ := kb.IsConsistent()
+	fmt.Println("consistent:", consistent)
+	for _, c := range kbrepair.NaiveConflicts(kb) {
+		fmt.Println("conflict witnessed by", c.Hom)
+	}
+	// Output:
+	// consistent: false
+	// conflict witnessed by {X=Aspirin, Y=John}
+}
+
+// Repairing with a simulated user: the engine asks sound questions until
+// the knowledge base is consistent.
+func ExampleEngine_Run() {
+	kb, _ := kbrepair.ParseKB(`
+		prescribed(Aspirin, John).
+		hasAllergy(John, Aspirin).
+		[cdd] prescribed(X, Y), hasAllergy(Y, X) -> !.
+	`)
+	engine := kbrepair.NewEngine(kb, kbrepair.OptiJoin(), kbrepair.NewSimulatedUser(7), 7, kbrepair.EngineOptions{})
+	res, err := engine.Run()
+	if err != nil {
+		panic(err)
+	}
+	consistent, _ := kb.IsConsistent()
+	fmt.Println("questions:", res.Questions, "consistent:", consistent)
+	// Output:
+	// questions: 1 consistent: true
+}
+
+// The §4.1 oracle: a user with a specific repair in mind; the dialogue
+// reconstructs exactly that repair (Proposition 4.8).
+func ExampleOracle() {
+	kb, _ := kbrepair.ParseKB(`
+		prescribed(Aspirin, John).
+		hasAllergy(John, Aspirin).
+		hasAllergy(Mike, Penicillin).
+		[cdd] prescribed(X, Y), hasAllergy(Y, X) -> !.
+	`)
+	// The oracle believes the allergy record belongs to Mike. (Fix values
+	// come from active domains — Def. 3.1 — so Mike must occur in the KB,
+	// which the third fact guarantees.)
+	target := kb.Facts.Clone()
+	target.MustSetValue(kbrepair.Position{Fact: 1, Arg: 0}, kbrepair.Const("Mike"))
+
+	engine := kbrepair.NewEngine(kb, kbrepair.RandomStrategy(), kbrepair.NewOracle(target, 1), 1, kbrepair.EngineOptions{})
+	if _, err := engine.RunBasic(); err != nil {
+		panic(err)
+	}
+	fmt.Print(kb.Facts)
+	// Output:
+	// prescribed(Aspirin, John).
+	// hasAllergy(Mike, Aspirin).
+	// hasAllergy(Mike, Penicillin).
+}
+
+// Π-repairability (Algorithm 1): pinning both sides of a join makes the
+// Example 3.7 knowledge base unrepairable.
+func ExamplePiRepairable() {
+	kb, _ := kbrepair.ParseKB(`
+		p(a, b).
+		q(b, d).
+		[cdd] p(X, Y), q(Y, Z) -> !.
+	`)
+	free, _ := kbrepair.PiRepairable(kb, kbrepair.NewPi())
+	pinned, _ := kbrepair.PiRepairable(kb, kbrepair.NewPi(
+		kbrepair.Position{Fact: 0, Arg: 1},
+		kbrepair.Position{Fact: 1, Arg: 0},
+	))
+	fmt.Println("with free positions:", free)
+	fmt.Println("with the join pinned:", pinned)
+	// Output:
+	// with free positions: true
+	// with the join pinned: false
+}
+
+// Update-based repairing preserves information that deletion discards: a
+// single position becomes an unknown instead of losing the whole fact.
+func ExampleApply() {
+	kb, _ := kbrepair.ParseKB(`
+		prescribed(Aspirin, John).
+		hasAllergy(John, Aspirin).
+		[cdd] prescribed(X, Y), hasAllergy(Y, X) -> !.
+	`)
+	fix := kbrepair.Fix{
+		Pos:   kbrepair.Position{Fact: 1, Arg: 1},
+		Value: kbrepair.NullTerm("x1"),
+	}
+	repaired, _ := kbrepair.Apply(kb.Facts, kbrepair.FixSet{fix})
+	fmt.Print(repaired)
+	// Output:
+	// prescribed(Aspirin, John).
+	// hasAllergy(John, _:x1).
+}

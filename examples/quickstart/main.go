@@ -1,0 +1,53 @@
+// Quickstart: build the paper's Figure 1(a) knowledge base, see why it is
+// inconsistent, and repair it interactively with a simulated user.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kbrepair"
+)
+
+func main() {
+	// A hospital KB: Aspirin is prescribed to John — who is allergic to it.
+	kb, err := kbrepair.ParseKB(`
+		prescribed(Aspirin, John).
+		hasAllergy(John, Aspirin).
+		hasAllergy(Mike, Penicillin).
+
+		# Prescribing a drug to a person allergic to it is a contradiction.
+		[cdd] prescribed(X, Y), hasAllergy(Y, X) -> !.
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	consistent, err := kb.IsConsistent()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("consistent before repair: %v\n", consistent)
+
+	for _, c := range kbrepair.NaiveConflicts(kb) {
+		fmt.Printf("conflict: %s witnessed by %s\n", c.CDD, c.Hom)
+	}
+
+	// Repair through an inquiry: the engine asks sound questions (any
+	// answer keeps the KB repairable); here a simulated user answers
+	// uniformly at random, as in the paper's experiments.
+	engine := kbrepair.NewEngine(kb, kbrepair.OptiJoin(), kbrepair.NewSimulatedUser(7), 7, kbrepair.EngineOptions{})
+	res, err := engine.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nrepaired with %d question(s); applied fixes: %s\n", res.Questions, res.AppliedFixes)
+	fmt.Println("facts after repair:")
+	fmt.Print(kb.Facts)
+
+	consistent, _ = kb.IsConsistent()
+	fmt.Printf("consistent after repair: %v\n", consistent)
+}

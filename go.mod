@@ -1,0 +1,3 @@
+module kbrepair
+
+go 1.22

@@ -1,0 +1,120 @@
+package chase
+
+import (
+	"fmt"
+
+	"kbrepair/internal/logic"
+)
+
+// depPos is a node of the dependency graph: one argument position of one
+// predicate.
+type depPos struct {
+	pred string
+	arg  int
+}
+
+func (p depPos) String() string { return fmt.Sprintf("%s[%d]", p.pred, p.arg) }
+
+type depEdge struct {
+	to      depPos
+	special bool
+}
+
+// WeakAcyclicityReport describes the outcome of the weak-acyclicity test.
+type WeakAcyclicityReport struct {
+	// Acyclic is true when the rule set is weakly acyclic.
+	Acyclic bool
+	// Cycle, when Acyclic is false, is a position cycle through at least
+	// one special edge, rendered for diagnostics.
+	Cycle []string
+}
+
+// IsWeaklyAcyclic checks the TGD set against the classical dependency-graph
+// criterion of Fagin, Kolaitis, Miller and Popa (2005): nodes are predicate
+// positions; every body occurrence of a variable x that also occurs in the
+// head yields (i) a normal edge to each head position of x and (ii) a
+// special edge to each head position of each existentially quantified
+// variable. The set is weakly acyclic iff no cycle goes through a special
+// edge, which guarantees chase termination.
+func IsWeaklyAcyclic(tgds []*logic.TGD) WeakAcyclicityReport {
+	adj := make(map[depPos][]depEdge)
+	for _, r := range tgds {
+		frontier := make(map[logic.Term]bool)
+		for _, v := range r.FrontierVars() {
+			frontier[v] = true
+		}
+		existential := make(map[logic.Term]bool)
+		for _, z := range r.ExistentialVars() {
+			existential[z] = true
+		}
+		// Head positions of each frontier variable, and of each
+		// existential variable.
+		headPos := make(map[logic.Term][]depPos)
+		var existPos []depPos
+		for _, h := range r.Head {
+			for j, t := range h.Args {
+				if !t.IsVar() {
+					continue
+				}
+				p := depPos{h.Pred, j}
+				if existential[t] {
+					existPos = append(existPos, p)
+				} else {
+					headPos[t] = append(headPos[t], p)
+				}
+			}
+		}
+		for _, b := range r.Body {
+			for i, t := range b.Args {
+				if !t.IsVar() || !frontier[t] {
+					continue
+				}
+				from := depPos{b.Pred, i}
+				for _, to := range headPos[t] {
+					adj[from] = append(adj[from], depEdge{to: to})
+				}
+				for _, to := range existPos {
+					adj[from] = append(adj[from], depEdge{to: to, special: true})
+				}
+			}
+		}
+	}
+
+	// A cycle through a special edge exists iff some special edge u→v has v
+	// reaching u. Detect with a DFS per special edge source set; the graphs
+	// here are small (positions ≤ predicates × max arity).
+	reach := func(from, target depPos) []string {
+		type frame struct {
+			node depPos
+			path []string
+		}
+		seen := map[depPos]bool{from: true}
+		stack := []frame{{from, []string{from.String()}}}
+		for len(stack) > 0 {
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if f.node == target {
+				return f.path
+			}
+			for _, e := range adj[f.node] {
+				if !seen[e.to] {
+					seen[e.to] = true
+					stack = append(stack, frame{e.to, append(append([]string(nil), f.path...), e.to.String())})
+				}
+			}
+		}
+		return nil
+	}
+	for from, edges := range adj {
+		for _, e := range edges {
+			if !e.special {
+				continue
+			}
+			if path := reach(e.to, from); path != nil {
+				cycle := append([]string{from.String() + " ~special~> " + e.to.String()}, path[1:]...)
+				return WeakAcyclicityReport{Acyclic: false, Cycle: cycle}
+			}
+		}
+	}
+	return WeakAcyclicityReport{Acyclic: true}
+}

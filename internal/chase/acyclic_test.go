@@ -1,0 +1,87 @@
+package chase
+
+import (
+	"testing"
+
+	"kbrepair/internal/logic"
+)
+
+func TestWeaklyAcyclicPositive(t *testing.T) {
+	// The Figure 1(b) TGD is trivially weakly acyclic (no existentials).
+	tg := logic.MustTGD(
+		[]logic.Atom{
+			logic.NewAtom("isPainKillerFor", logic.V("X"), logic.V("Y")),
+			logic.NewAtom("hasPain", logic.V("Z"), logic.V("Y")),
+		},
+		[]logic.Atom{logic.NewAtom("prescribed", logic.V("X"), logic.V("Z"))},
+	)
+	if rep := IsWeaklyAcyclic([]*logic.TGD{tg}); !rep.Acyclic {
+		t.Errorf("full rule wrongly cyclic: %v", rep.Cycle)
+	}
+}
+
+func TestWeaklyAcyclicWithExistentialNoCycle(t *testing.T) {
+	// p(X) -> q(X, Z): special edge p[0] -> q[1], no path back.
+	tg := logic.MustTGD(
+		[]logic.Atom{logic.NewAtom("p", logic.V("X"))},
+		[]logic.Atom{logic.NewAtom("q", logic.V("X"), logic.V("Z"))},
+	)
+	if rep := IsWeaklyAcyclic([]*logic.TGD{tg}); !rep.Acyclic {
+		t.Errorf("wrongly cyclic: %v", rep.Cycle)
+	}
+}
+
+func TestWeaklyAcyclicNegativeSelfLoop(t *testing.T) {
+	// p(X,Y) -> p(Y,Z): special edge into p[1] and normal edge p[1] -> p[0],
+	// p[0] -> ... ; classic non-terminating example.
+	tg := logic.MustTGD(
+		[]logic.Atom{logic.NewAtom("p", logic.V("X"), logic.V("Y"))},
+		[]logic.Atom{logic.NewAtom("p", logic.V("Y"), logic.V("Z"))},
+	)
+	rep := IsWeaklyAcyclic([]*logic.TGD{tg})
+	if rep.Acyclic {
+		t.Fatal("non-terminating rule reported weakly acyclic")
+	}
+	if len(rep.Cycle) == 0 {
+		t.Error("no cycle evidence returned")
+	}
+}
+
+func TestWeaklyAcyclicNegativeTwoRules(t *testing.T) {
+	// r1: p(X) -> q(X, Z) (special into q[1])
+	// r2: q(X, Y) -> p(Y)  (normal q[1] -> p[0])
+	// Cycle p[0] ~special~> q[1] -> p[0].
+	r1 := logic.MustTGD(
+		[]logic.Atom{logic.NewAtom("p", logic.V("X"))},
+		[]logic.Atom{logic.NewAtom("q", logic.V("X"), logic.V("Z"))},
+	)
+	r2 := logic.MustTGD(
+		[]logic.Atom{logic.NewAtom("q", logic.V("X"), logic.V("Y"))},
+		[]logic.Atom{logic.NewAtom("p", logic.V("Y"))},
+	)
+	rep := IsWeaklyAcyclic([]*logic.TGD{r1, r2})
+	if rep.Acyclic {
+		t.Fatal("cyclic pair reported weakly acyclic")
+	}
+}
+
+func TestWeaklyAcyclicNormalCycleOK(t *testing.T) {
+	// Mutual recursion without existentials is weakly acyclic (datalog).
+	r1 := logic.MustTGD(
+		[]logic.Atom{logic.NewAtom("p", logic.V("X"))},
+		[]logic.Atom{logic.NewAtom("q", logic.V("X"))},
+	)
+	r2 := logic.MustTGD(
+		[]logic.Atom{logic.NewAtom("q", logic.V("X"))},
+		[]logic.Atom{logic.NewAtom("p", logic.V("X"))},
+	)
+	if rep := IsWeaklyAcyclic([]*logic.TGD{r1, r2}); !rep.Acyclic {
+		t.Errorf("datalog recursion wrongly cyclic: %v", rep.Cycle)
+	}
+}
+
+func TestWeaklyAcyclicEmpty(t *testing.T) {
+	if rep := IsWeaklyAcyclic(nil); !rep.Acyclic {
+		t.Error("empty rule set must be weakly acyclic")
+	}
+}

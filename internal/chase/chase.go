@@ -1,0 +1,375 @@
+// Package chase implements the restricted (standard) chase for
+// weakly-acyclic TGDs, with per-fact provenance, plus the two consistency
+// checks of the paper: the naive one (full chase, then evaluate every CDD
+// body) and CheckConsistency-Opt (§5), which compiles CDDs into ⊥-headed
+// rules and aborts the chase the moment ⊥ is derived.
+package chase
+
+import (
+	"errors"
+	"fmt"
+
+	"kbrepair/internal/homo"
+	"kbrepair/internal/logic"
+	"kbrepair/internal/store"
+)
+
+// ErrBudget is returned when the chase exceeds its safety budget. On a
+// weakly-acyclic rule set this indicates a budget set too low; on arbitrary
+// rules it is the guard against non-termination.
+var ErrBudget = errors.New("chase: derivation budget exceeded")
+
+// Derivation records how a derived fact came to be: the rule that fired,
+// the base-store facts its body mapped onto (ids in the chase result store),
+// and which head atom of the rule produced it.
+type Derivation struct {
+	Rule    *logic.TGD
+	Parents []store.FactID
+	HeadIdx int
+}
+
+// Result is the outcome of a chase run.
+type Result struct {
+	// Store contains the base facts (same ids as the input store) followed
+	// by all derived facts.
+	Store *store.Store
+	// BaseLen is the number of base facts; ids < BaseLen are base facts.
+	BaseLen int
+	// Prov maps each derived fact id to its derivation.
+	Prov map[store.FactID]Derivation
+	// Rounds is the number of saturation rounds performed.
+	Rounds int
+}
+
+// Derived returns the ids of all derived (non-base) facts in ascending order.
+func (r *Result) Derived() []store.FactID {
+	out := make([]store.FactID, 0, r.Store.Len()-r.BaseLen)
+	for id := store.FactID(r.BaseLen); int(id) < r.Store.Len(); id++ {
+		out = append(out, id)
+	}
+	return out
+}
+
+// IsBase reports whether id denotes a base fact.
+func (r *Result) IsBase(id store.FactID) bool { return int(id) < r.BaseLen }
+
+// BaseSupport returns the set of base facts that (transitively) support the
+// given fact: the fact itself if it is base, otherwise the union of the
+// supports of its derivation parents. The result is sorted and duplicate
+// free.
+func (r *Result) BaseSupport(id store.FactID) []store.FactID {
+	seen := make(map[store.FactID]bool)
+	var out []store.FactID
+	var walk func(store.FactID)
+	walk = func(f store.FactID) {
+		if seen[f] {
+			return
+		}
+		seen[f] = true
+		if r.IsBase(f) {
+			out = append(out, f)
+			return
+		}
+		for _, p := range r.Prov[f].Parents {
+			walk(p)
+		}
+	}
+	walk(id)
+	sortIDs(out)
+	return out
+}
+
+// BaseSupportAll returns the union of base supports of several facts.
+func (r *Result) BaseSupportAll(ids []store.FactID) []store.FactID {
+	seen := make(map[store.FactID]bool)
+	var out []store.FactID
+	for _, id := range ids {
+		for _, b := range r.BaseSupport(id) {
+			if !seen[b] {
+				seen[b] = true
+				out = append(out, b)
+			}
+		}
+	}
+	sortIDs(out)
+	return out
+}
+
+func sortIDs(ids []store.FactID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// Options configure a chase run.
+type Options struct {
+	// MaxDerived caps the number of derived facts (0 means the default of
+	// 1_000_000). The chase returns ErrBudget when exceeded.
+	MaxDerived int
+	// MaxRounds caps saturation rounds (0 means the default of 10_000).
+	MaxRounds int
+}
+
+func (o Options) maxDerived() int {
+	if o.MaxDerived <= 0 {
+		return 1_000_000
+	}
+	return o.MaxDerived
+}
+
+func (o Options) maxRounds() int {
+	if o.MaxRounds <= 0 {
+		return 10_000
+	}
+	return o.MaxRounds
+}
+
+// Run computes the restricted chase of the base store under the given TGDs.
+// The base store is not modified; the result store is a clone extended with
+// derived facts. A trigger (rule, body homomorphism) fires only if the head
+// is not already satisfied by an extension of the frontier bindings — the
+// standard-chase applicability condition that guarantees termination on
+// weakly-acyclic rule sets.
+func Run(base *store.Store, tgds []*logic.TGD, opts Options) (*Result, error) {
+	return run(base, tgds, opts, "")
+}
+
+// run is the shared engine. If abortPred is non-empty, the chase stops as
+// soon as a fact with that predicate is derived (used by the ⊥ optimization).
+func run(base *store.Store, tgds []*logic.TGD, opts Options, abortPred string) (*Result, error) {
+	res := &Result{
+		Store:   base.Clone(),
+		BaseLen: base.Len(),
+		Prov:    make(map[store.FactID]Derivation),
+	}
+	if len(tgds) == 0 {
+		return res, nil
+	}
+	s := res.Store
+
+	// Round 0 works on all facts; later rounds only consider triggers that
+	// involve at least one fact from the previous round's delta.
+	delta := s.IDs()
+	budget := opts.maxDerived()
+
+	for len(delta) > 0 {
+		res.Rounds++
+		if res.Rounds > opts.maxRounds() {
+			return res, fmt.Errorf("%w: more than %d rounds", ErrBudget, opts.maxRounds())
+		}
+		deltaSet := make(map[store.FactID]bool, len(delta))
+		for _, id := range delta {
+			deltaSet[id] = true
+		}
+		var newDelta []store.FactID
+		for _, rule := range tgds {
+			matches := collectTriggers(s, rule, res.Rounds == 1, deltaSet)
+			for _, m := range matches {
+				fired, derived, err := fire(s, rule, m, budget-len(res.Prov))
+				if err != nil {
+					return res, err
+				}
+				if !fired {
+					continue
+				}
+				for i, id := range derived {
+					res.Prov[id] = Derivation{Rule: rule, Parents: m.Facts, HeadIdx: i}
+					newDelta = append(newDelta, id)
+					if abortPred != "" && s.FactRef(id).Pred == abortPred {
+						return res, nil
+					}
+				}
+			}
+		}
+		delta = newDelta
+	}
+	return res, nil
+}
+
+// collectTriggers gathers body homomorphisms for the rule. In the first
+// round all homomorphisms are collected; in later rounds only those mapping
+// at least one body atom onto a delta fact. Matches are cloned because the
+// store is mutated while firing.
+func collectTriggers(s *store.Store, rule *logic.TGD, all bool, deltaSet map[store.FactID]bool) []homo.Match {
+	var out []homo.Match
+	homo.ForEach(s, rule.Body, func(m homo.Match) bool {
+		if !all {
+			hit := false
+			for _, f := range m.Facts {
+				if deltaSet[f] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				return true
+			}
+		}
+		out = append(out, m.Clone())
+		return true
+	})
+	return out
+}
+
+// fire applies a trigger if the restricted-chase condition holds: the head
+// conjunction, with frontier variables bound per the trigger, has no
+// homomorphism into the current store. On firing it adds safe(H) — the head
+// with existential variables replaced by fresh nulls — and returns the new
+// fact ids in head-atom order.
+func fire(s *store.Store, rule *logic.TGD, m homo.Match, budget int) (bool, []store.FactID, error) {
+	frontier := m.Subst.Restrict(rule.FrontierVars())
+	if homo.ExistsSeeded(s, rule.Head, frontier) {
+		return false, nil, nil
+	}
+	if budget < len(rule.Head) {
+		return false, nil, ErrBudget
+	}
+	inst := frontier.Clone()
+	for _, z := range rule.ExistentialVars() {
+		inst[z] = s.FreshNull()
+	}
+	ids := make([]store.FactID, len(rule.Head))
+	for i, h := range rule.Head {
+		atom := inst.Apply(h)
+		id, err := s.Add(atom)
+		if err != nil {
+			return false, nil, fmt.Errorf("chase: firing %s: %w", rule, err)
+		}
+		ids[i] = id
+	}
+	return true, ids, nil
+}
+
+// IsConsistentNaive runs the full chase and then evaluates every CDD body on
+// the chased store — the paper's CheckConsistency. It returns whether the KB
+// is consistent.
+func IsConsistentNaive(base *store.Store, tgds []*logic.TGD, cdds []*logic.CDD, opts Options) (bool, error) {
+	res, err := Run(base, tgds, opts)
+	if err != nil {
+		return false, err
+	}
+	for _, c := range cdds {
+		if homo.Exists(res.Store, c.Body) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// BottomPred is the reserved predicate used by the ⊥ optimization. It cannot
+// clash with user predicates because the parser rejects "!" as an
+// identifier.
+const BottomPred = "⊥"
+
+// CompileBottom turns CDDs into TGDs with head ⊥() so that the chase itself
+// detects inconsistency (CheckConsistency-Opt, §5).
+func CompileBottom(cdds []*logic.CDD) []*logic.TGD {
+	out := make([]*logic.TGD, len(cdds))
+	for i, c := range cdds {
+		out[i] = &logic.TGD{
+			Label: "⊥:" + c.Label,
+			Body:  append([]logic.Atom(nil), c.Body...),
+			Head:  []logic.Atom{logic.NewAtom(BottomPred)},
+		}
+	}
+	return out
+}
+
+// RelevantTGDs returns the TGDs that can (transitively) contribute to a
+// CDD violation: starting from the predicates in CDD bodies, a TGD is
+// relevant if its head mentions a relevant predicate, and then its body
+// predicates become relevant too. Facts derived by irrelevant TGDs can
+// never appear in — or feed a derivation that appears in — a CDD-body
+// homomorphism, so consistency checking and conflict detection may safely
+// chase only the relevant rules. The result preserves input order.
+func RelevantTGDs(tgds []*logic.TGD, cdds []*logic.CDD) []*logic.TGD {
+	relevant := make(map[string]bool)
+	for _, c := range cdds {
+		for _, a := range c.Body {
+			relevant[a.Pred] = true
+		}
+	}
+	selected := make([]bool, len(tgds))
+	for changed := true; changed; {
+		changed = false
+		for i, t := range tgds {
+			if selected[i] {
+				continue
+			}
+			hit := false
+			for _, h := range t.Head {
+				if relevant[h.Pred] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				continue
+			}
+			selected[i] = true
+			changed = true
+			for _, b := range t.Body {
+				if !relevant[b.Pred] {
+					relevant[b.Pred] = true
+				}
+			}
+		}
+	}
+	out := make([]*logic.TGD, 0, len(tgds))
+	for i, t := range tgds {
+		if selected[i] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// IsConsistentOpt is CheckConsistency-Opt: it chases with CDDs compiled to
+// ⊥-rules — restricted to the TGDs relevant to the CDDs — and stops as
+// early as possible. It returns whether the KB is consistent.
+func IsConsistentOpt(base *store.Store, tgds []*logic.TGD, cdds []*logic.CDD, opts Options) (bool, error) {
+	// Fast path: a CDD already violated by the base facts needs no chase.
+	for _, c := range cdds {
+		if homo.Exists(base, c.Body) {
+			return false, nil
+		}
+	}
+	tgds = RelevantTGDs(tgds, cdds)
+	if len(tgds) == 0 {
+		return true, nil
+	}
+	rules := append(append([]*logic.TGD(nil), tgds...), CompileBottom(cdds)...)
+	res, err := run(base, rules, opts, BottomPred)
+	if err != nil {
+		return false, err
+	}
+	return len(res.Store.ByPredicate(BottomPred)) == 0, nil
+}
+
+// Answers computes the certain answers of a conjunctive query (body with
+// distinguished variables answVars) over the KB (F, ΣT): it chases F and
+// evaluates the query on the result, keeping only the all-constant tuples —
+// the paper's Q(F, ΣT).
+func Answers(base *store.Store, tgds []*logic.TGD, body []logic.Atom, answVars []logic.Term, opts Options) ([][]logic.Term, error) {
+	res, err := Run(base, tgds, opts)
+	if err != nil {
+		return nil, err
+	}
+	all := homo.Answers(res.Store, body, answVars)
+	out := all[:0]
+	for _, tuple := range all {
+		ok := true
+		for _, t := range tuple {
+			if !t.IsConst() {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, tuple)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,42 @@
+package chase
+
+import (
+	"fmt"
+	"strings"
+
+	"kbrepair/internal/store"
+)
+
+// Explain renders the derivation tree of a fact as an indented,
+// human-readable proof: base facts print as themselves, derived facts show
+// the rule that fired and, recursively, the facts its body matched. Used
+// by kbcheck to justify chase-discovered conflicts to the user.
+func (r *Result) Explain(id store.FactID) string {
+	var sb strings.Builder
+	r.explain(&sb, id, 0, make(map[store.FactID]bool))
+	return sb.String()
+}
+
+func (r *Result) explain(sb *strings.Builder, id store.FactID, depth int, onPath map[store.FactID]bool) {
+	indent := strings.Repeat("  ", depth)
+	atom := r.Store.FactRef(id)
+	if r.IsBase(id) {
+		fmt.Fprintf(sb, "%s%s  (base fact #%d)\n", indent, atom, id)
+		return
+	}
+	if onPath[id] {
+		fmt.Fprintf(sb, "%s%s  (already shown)\n", indent, atom)
+		return
+	}
+	onPath[id] = true
+	d := r.Prov[id]
+	label := d.Rule.Label
+	if label == "" {
+		label = d.Rule.String()
+	}
+	fmt.Fprintf(sb, "%s%s  (derived by %s)\n", indent, atom, label)
+	for _, p := range d.Parents {
+		r.explain(sb, p, depth+1, onPath)
+	}
+	delete(onPath, id)
+}

@@ -1,0 +1,279 @@
+// Package conflict implements conflict detection and maintenance for
+// knowledge bases with CDDs and TGDs.
+//
+// A conflict (Def. 2.3) is a pair X = (N, h) of a CDD N and a homomorphism
+// h from body(N) into the chase Cl_ΣT(F). A *naive* conflict (§5) is the
+// same with h mapping into F directly, without chasing. The package also
+// provides the conflict hypergraph with per-position degrees (for the
+// opti-mcd strategy), the incremental UpdateConflicts maintenance of §5,
+// and the KB-structure indicators reported in the paper's experiment tables
+// (average atoms per overlap, average scope).
+package conflict
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kbrepair/internal/chase"
+	"kbrepair/internal/homo"
+	"kbrepair/internal/logic"
+	"kbrepair/internal/store"
+)
+
+// Conflict is one violation of one CDD.
+type Conflict struct {
+	// CDD is the violated dependency; CDDIdx its index in the KB's rule
+	// set (used for stable identity).
+	CDD    *logic.CDD
+	CDDIdx int
+	// Hom is the witnessing homomorphism from body(CDD).
+	Hom logic.Subst
+	// Facts are the facts the body atoms map onto, in body order. For
+	// naive conflicts they are base-store ids; for chase conflicts they
+	// are ids in the chase result store.
+	Facts []store.FactID
+	// BaseFacts is the base support of the conflict: for naive conflicts
+	// the (deduplicated) Facts themselves, for chase conflicts the base
+	// facts transitively supporting the violation. Questions are always
+	// generated from BaseFacts, since only base facts can be fixed.
+	BaseFacts []store.FactID
+	// Direct is true when Facts are base-store ids aligned one-to-one with
+	// the CDD's body atoms (naive conflicts, or chase conflicts whose body
+	// atoms all map onto base facts). Join-position retrieval (opti-join)
+	// is only defined for direct conflicts.
+	Direct bool
+}
+
+// JoinPositions returns, for a direct conflict, the base positions holding
+// a join variable or a constant of the CDD body — exactly the positions
+// whose modification can break the witnessing homomorphism (§5, opti-join).
+// For non-direct conflicts it returns nil; callers fall back to Positions.
+func (c *Conflict) JoinPositions(s *store.Store) []store.Position {
+	if !c.Direct {
+		return nil
+	}
+	joinArgs := c.CDD.JoinPositions()
+	var out []store.Position
+	seen := make(map[store.Position]bool)
+	add := func(p store.Position) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for i, a := range c.CDD.Body {
+		for _, j := range joinArgs[i] {
+			add(store.Position{Fact: c.Facts[i], Arg: j})
+		}
+		// Constant-matched positions also pin the homomorphism.
+		for j, t := range a.Args {
+			if t.IsConst() {
+				add(store.Position{Fact: c.Facts[i], Arg: j})
+			}
+		}
+	}
+	return out
+}
+
+// Key identifies the conflict up to the paper's (N, h) identity.
+func (c *Conflict) Key() string {
+	return fmt.Sprintf("%d|%s", c.CDDIdx, c.Hom.Key())
+}
+
+// InvolvesFact reports whether the given base fact takes part in the
+// conflict.
+func (c *Conflict) InvolvesFact(id store.FactID) bool {
+	for _, f := range c.BaseFacts {
+		if f == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Positions returns every position of every base fact of the conflict —
+// the paper's Π′ = {(A, i) | A ∈ h(body(N))} of Algorithm 2, restricted to
+// base facts.
+func (c *Conflict) Positions(s *store.Store) []store.Position {
+	var out []store.Position
+	for _, f := range c.BaseFacts {
+		for i := 0; i < s.Arity(f); i++ {
+			out = append(out, store.Position{Fact: f, Arg: i})
+		}
+	}
+	return out
+}
+
+// String renders the conflict for diagnostics.
+func (c *Conflict) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "conflict cdd#%d %s facts=%v", c.CDDIdx, c.Hom, c.BaseFacts)
+	return sb.String()
+}
+
+func dedupIDs(ids []store.FactID) []store.FactID {
+	seen := make(map[store.FactID]bool, len(ids))
+	var out []store.FactID
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AllNaive computes allconflicts_naive(K): every homomorphism from every
+// CDD body into the base store, deduplicated by (CDD, homomorphism).
+func AllNaive(base *store.Store, cdds []*logic.CDD) []*Conflict {
+	var out []*Conflict
+	seen := make(map[string]bool)
+	for idx, c := range cdds {
+		cdd := c
+		i := idx
+		homo.ForEach(base, cdd.Body, func(m homo.Match) bool {
+			cf := &Conflict{
+				CDD:       cdd,
+				CDDIdx:    i,
+				Hom:       m.Subst.Clone(),
+				Facts:     append([]store.FactID(nil), m.Facts...),
+				BaseFacts: dedupIDs(m.Facts),
+				Direct:    true,
+			}
+			if k := cf.Key(); !seen[k] {
+				seen[k] = true
+				out = append(out, cf)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// All computes allconflicts(K): the chase of the base store is evaluated
+// against every CDD body, and each conflict is annotated with its base
+// support via chase provenance. Only the TGDs relevant to the CDDs are
+// chased (derivations from other rules can never take part in a CDD-body
+// homomorphism). It returns the conflicts together with the chase result
+// they were evaluated on.
+func All(base *store.Store, tgds []*logic.TGD, cdds []*logic.CDD, opts chase.Options) ([]*Conflict, *chase.Result, error) {
+	tgds = chase.RelevantTGDs(tgds, cdds)
+	res, err := chase.Run(base, tgds, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []*Conflict
+	seen := make(map[string]bool)
+	for idx, c := range cdds {
+		cdd := c
+		i := idx
+		homo.ForEach(res.Store, cdd.Body, func(m homo.Match) bool {
+			direct := true
+			for _, f := range m.Facts {
+				if !res.IsBase(f) {
+					direct = false
+					break
+				}
+			}
+			cf := &Conflict{
+				CDD:       cdd,
+				CDDIdx:    i,
+				Hom:       m.Subst.Clone(),
+				Facts:     append([]store.FactID(nil), m.Facts...),
+				BaseFacts: res.BaseSupportAll(m.Facts),
+				Direct:    direct,
+			}
+			if k := cf.Key(); !seen[k] {
+				seen[k] = true
+				out = append(out, cf)
+			}
+			return true
+		})
+	}
+	return out, res, nil
+}
+
+// Stats reports the KB-structure indicators the paper attaches to each
+// experiment table.
+type Stats struct {
+	// NumConflicts is the number of conflicts.
+	NumConflicts int
+	// AtomsInConflicts is the number of distinct base facts involved in at
+	// least one conflict (used for the inconsistency ratio).
+	AtomsInConflicts int
+	// AvgAtomsPerConflict is the mean number of base facts per conflict.
+	AvgAtomsPerConflict float64
+	// AvgAtomsPerOverlap is the mean size (in atoms) of the pairwise
+	// intersections between overlapping conflicts ("Avg # atoms per
+	// overlap").
+	AvgAtomsPerOverlap float64
+	// AvgScope is, averaged over conflicts, the number of other conflicts
+	// sharing at least one atom with it ("Avg scope").
+	AvgScope float64
+}
+
+// ComputeStats derives the indicator values from a set of conflicts.
+func ComputeStats(conflicts []*Conflict) Stats {
+	st := Stats{NumConflicts: len(conflicts)}
+	if len(conflicts) == 0 {
+		return st
+	}
+	inConflict := make(map[store.FactID]bool)
+	totalAtoms := 0
+	for _, c := range conflicts {
+		totalAtoms += len(c.BaseFacts)
+		for _, f := range c.BaseFacts {
+			inConflict[f] = true
+		}
+	}
+	st.AtomsInConflicts = len(inConflict)
+	st.AvgAtomsPerConflict = float64(totalAtoms) / float64(len(conflicts))
+
+	// Pairwise overlaps. Conflict sets are small; index conflicts by fact
+	// to avoid the full quadratic scan on big instances.
+	byFact := make(map[store.FactID][]int)
+	for i, c := range conflicts {
+		for _, f := range c.BaseFacts {
+			byFact[f] = append(byFact[f], i)
+		}
+	}
+	overlapSize := make(map[[2]int]int)
+	for _, members := range byFact {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				a, b := members[i], members[j]
+				if a > b {
+					a, b = b, a
+				}
+				overlapSize[[2]int{a, b}]++
+			}
+		}
+	}
+	if len(overlapSize) > 0 {
+		total := 0
+		for _, n := range overlapSize {
+			total += n
+		}
+		st.AvgAtomsPerOverlap = float64(total) / float64(len(overlapSize))
+	}
+	scope := make([]map[int]bool, len(conflicts))
+	for pair := range overlapSize {
+		a, b := pair[0], pair[1]
+		if scope[a] == nil {
+			scope[a] = make(map[int]bool)
+		}
+		if scope[b] == nil {
+			scope[b] = make(map[int]bool)
+		}
+		scope[a][b] = true
+		scope[b][a] = true
+	}
+	totalScope := 0
+	for _, m := range scope {
+		totalScope += len(m)
+	}
+	st.AvgScope = float64(totalScope) / float64(len(conflicts))
+	return st
+}

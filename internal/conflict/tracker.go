@@ -1,0 +1,228 @@
+package conflict
+
+import (
+	"kbrepair/internal/homo"
+	"kbrepair/internal/logic"
+	"kbrepair/internal/store"
+)
+
+// Tracker maintains the set of naive conflicts of a mutable store under
+// position updates — the UpdateConflicts optimization of §5. Instead of
+// re-evaluating every CDD after each fix, it removes the conflicts touching
+// the updated fact and re-evaluates only the CDDs whose bodies can map an
+// atom onto the updated fact.
+type Tracker struct {
+	base      *store.Store
+	cdds      []*logic.CDD
+	conflicts map[string]*Conflict
+	byFact    map[store.FactID]map[string]bool
+	// byPred maps a predicate name to the indexes of CDDs mentioning it in
+	// their body (the Σ_C^A of §5, at predicate granularity).
+	byPred map[string][]int
+}
+
+// NewTracker computes the initial naive conflicts of the store and prepares
+// the incremental indexes. The tracker observes — but does not own — the
+// store: callers mutate it through store.SetValue and then call Update with
+// the affected fact.
+func NewTracker(base *store.Store, cdds []*logic.CDD) *Tracker {
+	t := &Tracker{
+		base:      base,
+		cdds:      cdds,
+		conflicts: make(map[string]*Conflict),
+		byFact:    make(map[store.FactID]map[string]bool),
+		byPred:    make(map[string][]int),
+	}
+	for i, c := range cdds {
+		seen := make(map[string]bool)
+		for _, a := range c.Body {
+			if !seen[a.Pred] {
+				seen[a.Pred] = true
+				t.byPred[a.Pred] = append(t.byPred[a.Pred], i)
+			}
+		}
+	}
+	for _, c := range AllNaive(base, cdds) {
+		t.add(c)
+	}
+	return t
+}
+
+func (t *Tracker) add(c *Conflict) {
+	k := c.Key()
+	if _, dup := t.conflicts[k]; dup {
+		return
+	}
+	t.conflicts[k] = c
+	for _, f := range c.BaseFacts {
+		m := t.byFact[f]
+		if m == nil {
+			m = make(map[string]bool)
+			t.byFact[f] = m
+		}
+		m[k] = true
+	}
+}
+
+func (t *Tracker) remove(key string) {
+	c, ok := t.conflicts[key]
+	if !ok {
+		return
+	}
+	delete(t.conflicts, key)
+	for _, f := range c.BaseFacts {
+		if m := t.byFact[f]; m != nil {
+			delete(m, key)
+			if len(m) == 0 {
+				delete(t.byFact, f)
+			}
+		}
+	}
+}
+
+// Update re-synchronizes the conflict set after the fact with the given id
+// has been modified in the underlying store. Per §5: conflicts related to
+// the fact are dropped, then every CDD related to the fact's (new) atom is
+// re-evaluated with one body atom pinned onto the fact.
+func (t *Tracker) Update(id store.FactID) {
+	for k := range t.byFact[id] {
+		t.remove(k)
+	}
+	atom := t.base.FactRef(id)
+	for _, ci := range t.byPred[atom.Pred] {
+		cdd := t.cdds[ci]
+		for ai, ba := range cdd.Body {
+			if ba.Pred != atom.Pred || len(ba.Args) != len(atom.Args) {
+				continue
+			}
+			// Pin body atom ai onto the updated fact: bind its variables
+			// against the fact, then search the remaining atoms.
+			seed, ok := bindAtom(ba, atom)
+			if !ok {
+				continue
+			}
+			rest := make([]logic.Atom, 0, len(cdd.Body)-1)
+			for j, a := range cdd.Body {
+				if j != ai {
+					rest = append(rest, a)
+				}
+			}
+			ciCopy, aiCopy := ci, ai
+			homo.ForEachSeeded(t.base, rest, seed, func(m homo.Match) bool {
+				facts := make([]store.FactID, 0, len(cdd.Body))
+				ri := 0
+				for j := range cdd.Body {
+					if j == aiCopy {
+						facts = append(facts, id)
+					} else {
+						facts = append(facts, m.Facts[ri])
+						ri++
+					}
+				}
+				full := m.Subst.Clone()
+				for v, val := range seed {
+					full[v] = val
+				}
+				t.add(&Conflict{
+					CDD:       cdd,
+					CDDIdx:    ciCopy,
+					Hom:       full,
+					Facts:     facts,
+					BaseFacts: dedupIDs(facts),
+					Direct:    true,
+				})
+				return true
+			})
+		}
+	}
+}
+
+// bindAtom unifies a body atom pattern against a ground fact, returning the
+// induced variable bindings, or false if they are incompatible.
+func bindAtom(pattern, fact logic.Atom) (logic.Subst, bool) {
+	sub := logic.NewSubst()
+	for i, pt := range pattern.Args {
+		ft := fact.Args[i]
+		if pt.IsVar() {
+			if cur, ok := sub[pt]; ok {
+				if cur != ft {
+					return nil, false
+				}
+				continue
+			}
+			sub[pt] = ft
+			continue
+		}
+		if pt != ft {
+			return nil, false
+		}
+	}
+	return sub, true
+}
+
+// Len returns the current number of conflicts.
+func (t *Tracker) Len() int { return len(t.conflicts) }
+
+// Conflicts returns the current conflicts in a deterministic order (sorted
+// by key).
+func (t *Tracker) Conflicts() []*Conflict {
+	keys := make([]string, 0, len(t.conflicts))
+	for k := range t.conflicts {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	out := make([]*Conflict, len(keys))
+	for i, k := range keys {
+		out[i] = t.conflicts[k]
+	}
+	return out
+}
+
+// ConflictsOfFact returns the conflicts involving the given base fact.
+func (t *Tracker) ConflictsOfFact(id store.FactID) []*Conflict {
+	keys := make([]string, 0, len(t.byFact[id]))
+	for k := range t.byFact[id] {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	out := make([]*Conflict, len(keys))
+	for i, k := range keys {
+		out[i] = t.conflicts[k]
+	}
+	return out
+}
+
+// PositionRanks returns, for every position of every fact involved in a
+// conflict, the number of conflicts containing it — the vertex degrees of
+// the conflict hypergraph used by opti-mcd.
+func (t *Tracker) PositionRanks() map[store.Position]int {
+	return PositionRanks(t.Conflicts(), t.base)
+}
+
+// PositionRanks computes per-position conflict membership counts for an
+// arbitrary conflict set. Opti-mcd is an improvement over opti-join (§5),
+// so for direct conflicts only the join positions are ranked — changing a
+// non-join position can never resolve the conflict, and ranking it would
+// steer the strategy toward wasted questions. Chase-level conflicts fall
+// back to all base-support positions, as in GenerateQuestion-Chase.
+func PositionRanks(conflicts []*Conflict, s *store.Store) map[store.Position]int {
+	ranks := make(map[store.Position]int)
+	for _, c := range conflicts {
+		ps := c.JoinPositions(s)
+		if len(ps) == 0 {
+			ps = c.Positions(s)
+		}
+		for _, p := range ps {
+			ranks[p]++
+		}
+	}
+	return ranks
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}

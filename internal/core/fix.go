@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kbrepair/internal/logic"
+	"kbrepair/internal/store"
+)
+
+// Fix is a position fix (Def. 3.1): an instruction to set position Pos to
+// Value. Valid values are either members of the position's active domain
+// different from the current value, or a fresh labeled null uniquely
+// attributed to the position.
+type Fix struct {
+	Pos   store.Position
+	Value logic.Term
+}
+
+// String renders the fix as "(fact#i@j := value)".
+func (f Fix) String() string {
+	return fmt.Sprintf("(%s := %s)", f.Pos, f.Value)
+}
+
+// Describe renders the fix against a store, in the paper's (A, i, t)
+// notation with 1-based argument indexes.
+func (f Fix) Describe(s *store.Store) string {
+	return fmt.Sprintf("(%s, %d, %s)", s.FactRef(f.Pos.Fact), f.Pos.Arg+1, f.Value)
+}
+
+// FixSet is a set of fixes P.
+type FixSet []Fix
+
+// Validate enforces the paper's validity condition: no two fixes on the
+// same position with different values (§3). Duplicate identical fixes are
+// tolerated.
+func (fs FixSet) Validate() error {
+	seen := make(map[store.Position]logic.Term, len(fs))
+	for _, f := range fs {
+		if prev, ok := seen[f.Pos]; ok && prev != f.Value {
+			return fmt.Errorf("invalid fix set: position %s assigned both %s and %s", f.Pos, prev, f.Value)
+		}
+		seen[f.Pos] = f.Value
+	}
+	return nil
+}
+
+// Positions returns the set of positions touched by the fixes.
+func (fs FixSet) Positions() []store.Position {
+	seen := make(map[store.Position]bool, len(fs))
+	var out []store.Position
+	for _, f := range fs {
+		if !seen[f.Pos] {
+			seen[f.Pos] = true
+			out = append(out, f.Pos)
+		}
+	}
+	return out
+}
+
+// Contains reports whether the set holds the exact fix.
+func (fs FixSet) Contains(f Fix) bool {
+	for _, g := range fs {
+		if g == f {
+			return true
+		}
+	}
+	return false
+}
+
+// Without returns a copy of the set with the given fix removed.
+func (fs FixSet) Without(f Fix) FixSet {
+	out := make(FixSet, 0, len(fs))
+	for _, g := range fs {
+		if g != f {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Canonical returns a sorted, deduplicated copy (for comparisons and stable
+// output).
+func (fs FixSet) Canonical() FixSet {
+	out := append(FixSet(nil), fs...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			if out[i].Pos.Fact != out[j].Pos.Fact {
+				return out[i].Pos.Fact < out[j].Pos.Fact
+			}
+			return out[i].Pos.Arg < out[j].Pos.Arg
+		}
+		return out[i].Value.Compare(out[j].Value) < 0
+	})
+	dedup := out[:0]
+	for i, f := range out {
+		if i == 0 || f != out[i-1] {
+			dedup = append(dedup, f)
+		}
+	}
+	return dedup
+}
+
+// String renders the set in canonical order.
+func (fs FixSet) String() string {
+	parts := make([]string, 0, len(fs))
+	for _, f := range fs.Canonical() {
+		parts = append(parts, f.String())
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Apply computes apply(F, P): a new store with every fix applied. The input
+// store is unchanged; fact ids are preserved (|F′| = |F|, pos(F′) = pos(F)).
+func Apply(s *store.Store, fs FixSet) (*store.Store, error) {
+	if err := fs.Validate(); err != nil {
+		return nil, err
+	}
+	out := s.Clone()
+	for _, f := range fs {
+		if _, err := out.SetValue(f.Pos, f.Value); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ApplyInPlace applies the fixes directly to s and returns the inverse fix
+// set that undoes them (apply the result, in any order, to restore s).
+func ApplyInPlace(s *store.Store, fs FixSet) (FixSet, error) {
+	if err := fs.Validate(); err != nil {
+		return nil, err
+	}
+	undo := make(FixSet, 0, len(fs))
+	for _, f := range fs {
+		prev, err := s.SetValue(f.Pos, f.Value)
+		if err != nil {
+			// Roll back what we already changed.
+			for i := len(undo) - 1; i >= 0; i-- {
+				s.MustSetValue(undo[i].Pos, undo[i].Value)
+			}
+			return nil, err
+		}
+		if prev != f.Value {
+			undo = append(undo, Fix{Pos: f.Pos, Value: prev})
+		}
+	}
+	// Reverse so that re-applying in order undoes correctly even with
+	// repeated positions (which Validate rules out, but be safe).
+	for i, j := 0, len(undo)-1; i < j; i, j = i+1, j-1 {
+		undo[i], undo[j] = undo[j], undo[i]
+	}
+	return undo, nil
+}
+
+// Diff reconstructs the fix set P = diff(F, F′) between a store and its
+// update (§3). The two stores must have the same fact ids with the same
+// predicates — which is exactly the paper's match(x) one-to-one
+// correspondence, realized here by fact identity.
+func Diff(f, fp *store.Store) (FixSet, error) {
+	if f.Len() != fp.Len() {
+		return nil, fmt.Errorf("diff: stores have different sizes (%d vs %d)", f.Len(), fp.Len())
+	}
+	var out FixSet
+	for _, id := range f.IDs() {
+		a, b := f.FactRef(id), fp.FactRef(id)
+		if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+			return nil, fmt.Errorf("diff: fact %d mismatch: %s vs %s", id, a, b)
+		}
+		for i := range a.Args {
+			if a.Args[i] != b.Args[i] {
+				out = append(out, Fix{Pos: store.Position{Fact: id, Arg: i}, Value: b.Args[i]})
+			}
+		}
+	}
+	return out, nil
+}
+
+// MatchByPredicate builds a one-to-one, predicate-preserving correspondence
+// between two equal-size stores (the paper's match(x)), preferring exact
+// atom matches, and returns for each fact id of f the id of its partner in
+// fp. It errors when no such bijection exists.
+func MatchByPredicate(f, fp *store.Store) (map[store.FactID]store.FactID, error) {
+	if f.Len() != fp.Len() {
+		return nil, fmt.Errorf("match: stores have different sizes (%d vs %d)", f.Len(), fp.Len())
+	}
+	match := make(map[store.FactID]store.FactID, f.Len())
+	used := make(map[store.FactID]bool, fp.Len())
+	// First pass: exact atoms (these yield empty diffs, the best match).
+	for _, id := range f.IDs() {
+		for _, cand := range fp.FindExact(f.FactRef(id)) {
+			if !used[cand] {
+				match[id] = cand
+				used[cand] = true
+				break
+			}
+		}
+	}
+	// Second pass: any same-predicate, same-arity partner.
+	for _, id := range f.IDs() {
+		if _, done := match[id]; done {
+			continue
+		}
+		a := f.FactRef(id)
+		found := false
+		for _, cand := range fp.ByPredicate(a.Pred) {
+			if used[cand] || fp.Arity(cand) != len(a.Args) {
+				continue
+			}
+			match[id] = cand
+			used[cand] = true
+			found = true
+			break
+		}
+		if !found {
+			return nil, fmt.Errorf("match: no partner for fact %d (%s)", id, a)
+		}
+	}
+	return match, nil
+}
+
+// DiffMatched computes the fix set induced by an explicit correspondence
+// (as returned by MatchByPredicate): for each matched pair, positions where
+// the partner differs become fixes.
+func DiffMatched(f, fp *store.Store, match map[store.FactID]store.FactID) (FixSet, error) {
+	var out FixSet
+	for _, id := range f.IDs() {
+		pid, ok := match[id]
+		if !ok {
+			return nil, fmt.Errorf("diff: fact %d unmatched", id)
+		}
+		a, b := f.FactRef(id), fp.FactRef(pid)
+		if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+			return nil, fmt.Errorf("diff: matched facts %d/%d differ in predicate", id, pid)
+		}
+		for i := range a.Args {
+			if a.Args[i] != b.Args[i] {
+				out = append(out, Fix{Pos: store.Position{Fact: id, Arg: i}, Value: b.Args[i]})
+			}
+		}
+	}
+	return out, nil
+}

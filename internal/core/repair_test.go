@@ -1,0 +1,249 @@
+package core
+
+import (
+	"testing"
+
+	"kbrepair/internal/logic"
+	"kbrepair/internal/store"
+)
+
+// fig1bCore builds the Figure 1(b) KB (CDDs + TGD).
+func fig1bCore(t testing.TB) *KB {
+	t.Helper()
+	s := store.MustFromAtoms([]logic.Atom{
+		logic.NewAtom("prescribed", logic.C("Aspirin"), logic.C("John")),         // 0
+		logic.NewAtom("hasAllergy", logic.C("John"), logic.C("Aspirin")),         // 1
+		logic.NewAtom("hasAllergy", logic.C("Mike"), logic.C("Penicillin")),      // 2
+		logic.NewAtom("hasPain", logic.C("John"), logic.C("Migraine")),           // 3
+		logic.NewAtom("isPainKillerFor", logic.C("Nsaids"), logic.C("Migraine")), // 4
+		logic.NewAtom("incompatible", logic.C("Aspirin"), logic.C("Nsaids")),     // 5
+	})
+	tgds := []*logic.TGD{logic.MustTGD(
+		[]logic.Atom{
+			logic.NewAtom("isPainKillerFor", logic.V("X"), logic.V("Y")),
+			logic.NewAtom("hasPain", logic.V("Z"), logic.V("Y")),
+		},
+		[]logic.Atom{logic.NewAtom("prescribed", logic.V("X"), logic.V("Z"))},
+	)}
+	cdds := []*logic.CDD{
+		logic.MustCDD([]logic.Atom{
+			logic.NewAtom("prescribed", logic.V("X"), logic.V("Y")),
+			logic.NewAtom("hasAllergy", logic.V("Y"), logic.V("X")),
+		}),
+		logic.MustCDD([]logic.Atom{
+			logic.NewAtom("prescribed", logic.V("X"), logic.V("Z")),
+			logic.NewAtom("prescribed", logic.V("Y"), logic.V("Z")),
+			logic.NewAtom("incompatible", logic.V("X"), logic.V("Y")),
+		}),
+	}
+	return MustKB(s, tgds, cdds)
+}
+
+func TestKBValidate(t *testing.T) {
+	kb := fig1bCore(t)
+	if err := kb.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Non weakly acyclic TGD set must be rejected.
+	bad := &KB{
+		Facts: store.New(),
+		TGDs: []*logic.TGD{logic.MustTGD(
+			[]logic.Atom{logic.NewAtom("p", logic.V("X"), logic.V("Y"))},
+			[]logic.Atom{logic.NewAtom("p", logic.V("Y"), logic.V("Z"))},
+		)},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("cyclic TGDs accepted")
+	}
+	if err := (&KB{}).Validate(); err == nil {
+		t.Error("nil store accepted")
+	}
+}
+
+func TestKBConsistencyAndConflicts(t *testing.T) {
+	kb := fig1bCore(t)
+	ok, err := kb.IsConsistent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("Figure 1(b) KB reported consistent")
+	}
+	naive := kb.NaiveConflicts()
+	if len(naive) != 1 {
+		t.Errorf("naive conflicts = %d, want 1", len(naive))
+	}
+	all, _, err := kb.AllConflicts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Errorf("all conflicts = %d, want 2", len(all))
+	}
+}
+
+func TestRulesCompatible(t *testing.T) {
+	kb := fig1bCore(t)
+	ok, err := kb.RulesCompatible()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("compatible rules reported incompatible")
+	}
+	// Incompatible: TGD forces q(X) from p(X), CDD forbids p and q together.
+	bad := MustKB(store.New(),
+		[]*logic.TGD{logic.MustTGD(
+			[]logic.Atom{logic.NewAtom("p", logic.V("X"))},
+			[]logic.Atom{logic.NewAtom("q", logic.V("X"))},
+		)},
+		[]*logic.CDD{logic.MustCDD([]logic.Atom{
+			logic.NewAtom("p", logic.V("X")),
+			logic.NewAtom("q", logic.V("X")),
+		})},
+	)
+	ok, err = bad.RulesCompatible()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("incompatible rules reported compatible")
+	}
+}
+
+func TestIsCFixExample35(t *testing.T) {
+	kb := fig1a(t)
+	orig := kb.Facts.Clone()
+	p := FixSet{
+		{Pos: Position{Fact: 1, Arg: 1}, Value: logic.N("x1")},
+		{Pos: Position{Fact: 2, Arg: 1}, Value: logic.C("Aspirin")},
+	}
+	ok, err := IsCFix(kb, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("P should be a c-fix (Example 3.5)")
+	}
+	// P1 = P \ {(A',2,Aspirin)} is an r-fix.
+	p1 := p.Without(Fix{Pos: Position{Fact: 2, Arg: 1}, Value: logic.C("Aspirin")})
+	if ok, err := IsRFix(kb, p1); err != nil || !ok {
+		t.Errorf("P1 r-fix = %v, %v; want true", ok, err)
+	}
+	// P2 = P \ {(A,2,X1)} is not even a c-fix.
+	p2 := p.Without(Fix{Pos: Position{Fact: 1, Arg: 1}, Value: logic.N("x1")})
+	if ok, err := IsCFix(kb, p2); err != nil || ok {
+		t.Errorf("P2 c-fix = %v, %v; want false", ok, err)
+	}
+	// P itself is a c-fix but not an r-fix (P1 ⊂ P is a c-fix).
+	if ok, err := IsRFix(kb, p); err != nil || ok {
+		t.Errorf("P r-fix = %v, %v; want false", ok, err)
+	}
+	// All checks must leave the KB untouched.
+	if !kb.Facts.Equal(orig) {
+		t.Error("c-fix/r-fix checks mutated the KB")
+	}
+}
+
+func TestMinimizeCFix(t *testing.T) {
+	kb := fig1a(t)
+	p := FixSet{
+		{Pos: Position{Fact: 1, Arg: 1}, Value: logic.N("x1")},
+		{Pos: Position{Fact: 2, Arg: 1}, Value: logic.C("Aspirin")},
+	}
+	min, err := MinimizeCFix(kb, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min) != 1 {
+		t.Fatalf("minimized to %v", min)
+	}
+	if ok, _ := IsLocallyMinimalCFix(kb, min); !ok {
+		t.Error("minimized set not locally minimal")
+	}
+	// Minimizing a non-c-fix errors.
+	if _, err := MinimizeCFix(kb, FixSet{}); err == nil {
+		t.Error("empty set (not a c-fix here) minimized")
+	}
+}
+
+func TestGuaranteedCFix(t *testing.T) {
+	for _, kb := range []*KB{fig1a(t), fig1bCore(t)} {
+		fs := GuaranteedCFix(kb)
+		if len(fs) != kb.Facts.NumPositions() {
+			t.Errorf("guaranteed c-fix touches %d positions, want %d", len(fs), kb.Facts.NumPositions())
+		}
+		ok, err := IsCFix(kb, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Error("guaranteed c-fix is not a c-fix")
+		}
+	}
+}
+
+func TestUpdateRepair(t *testing.T) {
+	kb := fig1a(t)
+	fs := FixSet{{Pos: Position{Fact: 1, Arg: 1}, Value: logic.N("x1")}}
+	repaired, err := UpdateRepair(kb, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := repaired.IsConsistent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("u-repair inconsistent")
+	}
+	// F3 of Example 1.3.
+	if !repaired.Facts.Contains(logic.NewAtom("hasAllergy", logic.C("John"), logic.N("x1"))) {
+		t.Error("u-repair content wrong")
+	}
+}
+
+func TestFixValues(t *testing.T) {
+	kb := fig1a(t)
+	// Position (hasAllergy(John,Aspirin), 2): adom = {Aspirin, Penicillin};
+	// candidates = {Penicillin} ∪ {fresh null}.
+	vals := FixValues(kb, Position{Fact: 1, Arg: 1})
+	if len(vals) != 2 {
+		t.Fatalf("FixValues = %v", vals)
+	}
+	if vals[0] != logic.C("Penicillin") {
+		t.Errorf("domain candidate = %v", vals[0])
+	}
+	if !vals[1].IsNull() {
+		t.Errorf("last candidate not a null: %v", vals[1])
+	}
+	// The null must be fresh (unused in the store).
+	if kb.Facts.OccursAnywhere(vals[1]) {
+		t.Error("fresh null already in use")
+	}
+}
+
+func TestIsRFixRefusesLargeSets(t *testing.T) {
+	kb := fig1a(t)
+	var fs FixSet
+	for i := 0; i < maxExhaustiveRFix+1; i++ {
+		fs = append(fs, Fix{Pos: Position{Fact: 0, Arg: 0}, Value: logic.C("v")})
+	}
+	// Canonical dedupes, so build genuinely distinct fixes.
+	fs = nil
+	for i := 0; i <= maxExhaustiveRFix; i++ {
+		fs = append(fs, Fix{Pos: Position{Fact: 0, Arg: 0}, Value: logic.C(string(rune('a' + i)))})
+	}
+	if _, err := IsRFix(kb, fs); err == nil {
+		t.Error("oversized r-fix check did not refuse")
+	}
+}
+
+func TestKBClone(t *testing.T) {
+	kb := fig1bCore(t)
+	c := kb.Clone()
+	c.Facts.MustSetValue(Position{Fact: 0, Arg: 0}, logic.C("Z"))
+	if kb.Facts.Value(Position{Fact: 0, Arg: 0}) != logic.C("Aspirin") {
+		t.Error("clone shares fact store")
+	}
+}

@@ -1,0 +1,133 @@
+package cqa
+
+import (
+	"testing"
+
+	"kbrepair/internal/core"
+	"kbrepair/internal/logic"
+	"kbrepair/internal/store"
+)
+
+func consistentKB(t testing.TB) *core.KB {
+	t.Helper()
+	s := store.MustFromAtoms([]logic.Atom{
+		logic.NewAtom("hasPain", logic.C("John"), logic.C("Migraine")),
+		logic.NewAtom("isPainKillerFor", logic.C("Nsaids"), logic.C("Migraine")),
+	})
+	tgds := []*logic.TGD{logic.MustTGD(
+		[]logic.Atom{
+			logic.NewAtom("isPainKillerFor", logic.V("X"), logic.V("Y")),
+			logic.NewAtom("hasPain", logic.V("Z"), logic.V("Y")),
+		},
+		[]logic.Atom{logic.NewAtom("prescribed", logic.V("X"), logic.V("Z"))},
+	)}
+	return core.MustKB(s, tgds, nil)
+}
+
+func TestQueryValidate(t *testing.T) {
+	ok := Query{
+		Body: []logic.Atom{logic.NewAtom("p", logic.V("X"))},
+		Answ: []logic.Term{logic.V("X")},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+	bad1 := Query{Body: ok.Body, Answ: []logic.Term{logic.C("a")}}
+	if err := bad1.Validate(); err == nil {
+		t.Error("constant answer term accepted")
+	}
+	bad2 := Query{Body: ok.Body, Answ: []logic.Term{logic.V("Y")}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("unbound answer variable accepted")
+	}
+}
+
+func TestCertainAnswers(t *testing.T) {
+	kb := consistentKB(t)
+	q := Query{
+		Body: []logic.Atom{logic.NewAtom("prescribed", logic.V("D"), logic.C("John"))},
+		Answ: []logic.Term{logic.V("D")},
+	}
+	ans, err := CertainAnswers(kb, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans) != 1 || ans[0][0] != logic.C("Nsaids") {
+		t.Errorf("answers = %v", ans)
+	}
+}
+
+func TestSampledAnswersOnInconsistentKB(t *testing.T) {
+	// Figure 1(a): prescribed(Aspirin, John) conflicts with the allergy.
+	// hasAllergy(Mike, Penicillin) is untouched by any repair, so the query
+	// "who has an allergy?" must keep Mike in the cautious answers, while
+	// John's allergy (or the prescription) may be rewritten.
+	s := store.MustFromAtoms([]logic.Atom{
+		logic.NewAtom("prescribed", logic.C("Aspirin"), logic.C("John")),
+		logic.NewAtom("hasAllergy", logic.C("John"), logic.C("Aspirin")),
+		logic.NewAtom("hasAllergy", logic.C("Mike"), logic.C("Penicillin")),
+	})
+	cdd := logic.MustCDD([]logic.Atom{
+		logic.NewAtom("prescribed", logic.V("X"), logic.V("Y")),
+		logic.NewAtom("hasAllergy", logic.V("Y"), logic.V("X")),
+	})
+	kb := core.MustKB(s, nil, []*logic.CDD{cdd})
+
+	q := Query{
+		Body: []logic.Atom{logic.NewAtom("hasAllergy", logic.V("P"), logic.V("D"))},
+		Answ: []logic.Term{logic.V("P")},
+	}
+	res, err := SampledAnswers(kb, q, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != 8 {
+		t.Errorf("samples = %d", res.Samples)
+	}
+	cautious := make(map[string]bool)
+	for _, t := range res.Cautious {
+		cautious[t[0].Name] = true
+	}
+	if !cautious["Mike"] {
+		t.Errorf("Mike missing from cautious answers: %v", res.Cautious)
+	}
+	// Brave ⊇ cautious, and support of every cautious tuple equals samples.
+	if len(res.Brave) < len(res.Cautious) {
+		t.Error("brave smaller than cautious")
+	}
+	for _, tu := range res.Cautious {
+		if res.Support[tu.Key()] != res.Samples {
+			t.Errorf("cautious tuple %s support = %d", tu, res.Support[tu.Key()])
+		}
+	}
+	// The input KB must be untouched.
+	if ok, _ := kb.IsConsistent(); ok {
+		t.Error("SampledAnswers mutated the input KB")
+	}
+}
+
+func TestSampledAnswersErrors(t *testing.T) {
+	kb := consistentKB(t)
+	q := Query{
+		Body: []logic.Atom{logic.NewAtom("prescribed", logic.V("D"), logic.C("John"))},
+		Answ: []logic.Term{logic.V("D")},
+	}
+	if _, err := SampledAnswers(kb, q, 0, 1); err == nil {
+		t.Error("zero samples accepted")
+	}
+	bad := Query{Body: q.Body, Answ: []logic.Term{logic.V("Missing")}}
+	if _, err := SampledAnswers(kb, bad, 2, 1); err == nil {
+		t.Error("invalid query accepted")
+	}
+}
+
+func TestTupleKeyAndString(t *testing.T) {
+	a := Tuple{logic.C("x"), logic.C("y")}
+	b := Tuple{logic.C("x"), logic.N("y")}
+	if a.Key() == b.Key() {
+		t.Error("key ignores kind")
+	}
+	if a.String() != "(x, y)" {
+		t.Errorf("String = %q", a.String())
+	}
+}

@@ -1,0 +1,499 @@
+// Package durum rebuilds a stand-in for the real-world Durum Wheat
+// knowledge base used in the paper's experiments (§6, Figure 2). The
+// original KB ([2] in the paper) was hand-constructed from agronomy
+// documents and is not redistributable; this package programmatically
+// builds a KB over a realistic durum-wheat vocabulary (soils, crop
+// rotations, growth stages, field operations, pests and treatments) whose
+// *published structural characteristics* are matched:
+//
+//	567 base atoms, ~1075 after the chase, 269 TGDs,
+//	27 CDDs (v1) / 100 CDDs (v2), ≈14% inconsistency (≈79 atoms in
+//	conflicts), 2–3 atoms per conflict, heavily overlapping conflicts
+//	(avg scope ≈ 8).
+//
+// The experiments only depend on these characteristics, not on the exact
+// agronomy content. The seed facts and the example rules printed in the
+// paper's Figure 2 are included verbatim.
+package durum
+
+import (
+	"fmt"
+
+	"kbrepair/internal/core"
+	"kbrepair/internal/logic"
+	"kbrepair/internal/store"
+	"kbrepair/internal/synth"
+)
+
+// Version selects the CDD set size.
+type Version int
+
+const (
+	// V1 is Durum Wheat v1: 27 CDDs.
+	V1 Version = 1
+	// V2 is Durum Wheat v2: 100 CDDs (the same KB with 73 additional
+	// finer-grained constraints).
+	V2 Version = 2
+)
+
+const (
+	numWheats     = 30
+	numSoils      = 20
+	numPests      = 20
+	numTreatments = 20
+	numOps        = 40
+	targetFacts   = 567
+	targetTGDs    = 269
+)
+
+var stages = []string{
+	"germination", "tillering_begins", "tillering_ends",
+	"stem_extension", "heading", "flowering", "ripening",
+}
+
+var soilTypes = []string{"clay_soil", "silt_soil", "sandy_soil", "loam_soil"}
+
+var opTypes = []string{"fertilization", "irrigation", "tillage"}
+
+func wheat(i int) logic.Term { return logic.C(fmt.Sprintf("wheat%d", i)) }
+func soil(i int) logic.Term  { return logic.C(fmt.Sprintf("soil%d", i)) }
+func pest(i int) logic.Term  { return logic.C(fmt.Sprintf("pest%d", i)) }
+func treat(i int) logic.Term { return logic.C(fmt.Sprintf("treatment%d", i)) }
+func op(i int) logic.Term    { return logic.C(fmt.Sprintf("op%d", i)) }
+func stageID(k int) logic.Term {
+	return logic.C(fmt.Sprintf("stage_%s", stages[k]))
+}
+
+// Build assembles the Durum Wheat KB for the requested version, returning
+// the KB and its measured structural characteristics.
+func Build(v Version) (*core.KB, synth.Info, error) {
+	if v != V1 && v != V2 {
+		return nil, synth.Info{}, fmt.Errorf("durum: unknown version %d", v)
+	}
+	tgds := buildTGDs()
+	cdds := buildCDDs(v)
+	st := buildFacts()
+
+	kb, err := core.NewKB(st, tgds, cdds)
+	if err != nil {
+		return nil, synth.Info{}, fmt.Errorf("durum: %w", err)
+	}
+	info, err := synth.Describe(kb)
+	if err != nil {
+		return nil, synth.Info{}, err
+	}
+	return kb, info, nil
+}
+
+// a is shorthand for atom construction.
+func a(pred string, args ...logic.Term) logic.Atom { return logic.NewAtom(pred, args...) }
+
+func v(name string) logic.Term { return logic.V(name) }
+
+// buildTGDs assembles exactly targetTGDs rules across the domain families
+// described in DESIGN.md.
+func buildTGDs() []*logic.TGD {
+	var out []*logic.TGD
+	add := func(label string, body, head []logic.Atom) {
+		out = append(out, &logic.TGD{Label: label, Body: body, Head: head})
+	}
+
+	// Family 1 — the paper's Figure 2 rotation rule: a durum wheat
+	// cultivated on a soil implies the soil's precedent is soybean.
+	add("rotation",
+		[]logic.Atom{
+			a("isCultivatedOn", v("X1"), v("X2")),
+			a("durum_wheat", v("X1")),
+			a("soil", v("X2")),
+		},
+		[]logic.Atom{
+			a("hasPrecedent", v("X2"), v("X3")),
+			a("soybean", v("X3")),
+		})
+
+	// Family 2 — crop taxonomy chains: 8 chains of 5 subsumption steps
+	// (e.g. a durum variety is a durum, is a wheat, is a cereal, …).
+	for c := 0; c < 8; c++ {
+		for j := 0; j < 5; j++ {
+			add(fmt.Sprintf("taxonomy%d_%d", c, j),
+				[]logic.Atom{a(fmt.Sprintf("cropTax%d_%d", c, j), v("X"))},
+				[]logic.Atom{a(fmt.Sprintf("cropTax%d_%d", c, j+1), v("X"))})
+		}
+	}
+
+	// Family 3 — pest-driven treatment planning: a durum wheat with pest k
+	// must receive some treatment effective against k.
+	for k := 0; k < numPests; k++ {
+		add(fmt.Sprintf("pestPlan%d", k),
+			[]logic.Atom{
+				a("hasPest", v("W"), pest(k)),
+				a("durum_wheat", v("W")),
+			},
+			[]logic.Atom{
+				a("plannedTreatment", v("W"), v("T")),
+				a("effectiveAgainst", v("T"), pest(k)),
+			})
+	}
+
+	// Family 4 — growth-stage bookkeeping: reaching a stage is recorded.
+	for k := range stages {
+		add(fmt.Sprintf("reached_%s", stages[k]),
+			[]logic.Atom{
+				a("isAtGrowingStage", v("W"), v("G")),
+				a(stages[k], v("G")),
+			},
+			[]logic.Atom{a("reached_"+stages[k], v("W"))})
+	}
+
+	// Family 5 — per-stage phenology chains (3 steps each).
+	for k := range stages {
+		prev := "reached_" + stages[k]
+		for j := 0; j < 3; j++ {
+			cur := fmt.Sprintf("phase_%s_%d", stages[k], j)
+			add(fmt.Sprintf("phenology_%s_%d", stages[k], j),
+				[]logic.Atom{a(prev, v("W"))},
+				[]logic.Atom{a(cur, v("W"))})
+			prev = cur
+		}
+	}
+
+	// Family 6 — operation bookkeeping: typed operations performed on a
+	// wheat are recorded, and recorded operations open an audit entry.
+	for _, t := range opTypes {
+		add("record_"+t,
+			[]logic.Atom{
+				a("isPerformedOn", v("O"), v("W")),
+				a(t, v("O")),
+			},
+			[]logic.Atom{a("received_"+t, v("W"))})
+		add("audit_"+t,
+			[]logic.Atom{a("received_"+t, v("W"))},
+			[]logic.Atom{a("auditEntry_"+t, v("W"), v("E"))})
+	}
+
+	// Family 7 — pest risk propagation and alerts.
+	for k := 0; k < numPests; k++ {
+		add(fmt.Sprintf("risk%d", k),
+			[]logic.Atom{a("hasPest", v("W"), pest(k))},
+			[]logic.Atom{a(fmt.Sprintf("atRisk%d", k), v("W"))})
+		add(fmt.Sprintf("alert%d", k),
+			[]logic.Atom{a(fmt.Sprintf("atRisk%d", k), v("W"))},
+			[]logic.Atom{a(fmt.Sprintf("pestAlert%d", k), v("W"), v("Z"))})
+	}
+
+	// Family 8 — soil typing consequences (drainage, water retention).
+	for _, st := range soilTypes {
+		add("drainage_"+st,
+			[]logic.Atom{a(st, v("S"))},
+			[]logic.Atom{a("drainageClass_"+st, v("S"))})
+		add("retention_"+st,
+			[]logic.Atom{a("drainageClass_"+st, v("S"))},
+			[]logic.Atom{a("waterRetention_"+st, v("S"))})
+	}
+
+	// Family 9 — nitrogen enrichment from legume precedents.
+	add("enrichment",
+		[]logic.Atom{
+			a("hasPrecedent", v("S"), v("C")),
+			a("legume", v("C")),
+		},
+		[]logic.Atom{a("nitrogenEnriched", v("S"))})
+	add("enrichment2",
+		[]logic.Atom{a("nitrogenEnriched", v("S"))},
+		[]logic.Atom{a("reducedFertilizerNeed", v("S"))})
+	add("enrichment3",
+		[]logic.Atom{a("reducedFertilizerNeed", v("S"))},
+		[]logic.Atom{a("fertilizerPlan", v("S"), v("P"))})
+
+	// Family 10 — traceability ledger: a long certification chain each
+	// monitored parcel walks through (fills the rule budget to the
+	// published 269 and gives the chase realistic depth).
+	remaining := targetTGDs - len(out) - 1
+	add("ledgerOpen",
+		[]logic.Atom{a("monitoredParcel", v("W"))},
+		[]logic.Atom{a("ledger0", v("W"))})
+	for j := 0; j < remaining; j++ {
+		add(fmt.Sprintf("ledger%d", j+1),
+			[]logic.Atom{a(fmt.Sprintf("ledger%d", j), v("W"))},
+			[]logic.Atom{a(fmt.Sprintf("ledger%d", j+1), v("W"))})
+	}
+	return out
+}
+
+// buildCDDs assembles the constraint set: 27 CDDs for v1, plus 73
+// finer-grained ones for v2.
+func buildCDDs(ver Version) []*logic.CDD {
+	var out []*logic.CDD
+	add := func(label string, body ...logic.Atom) {
+		c := logic.MustCDD(body)
+		c.Label = label
+		out = append(out, c)
+	}
+
+	// v1 #1–3: the paper's Figure 2 example — fertilization is forbidden
+	// at sensitive growth stages (tillering begin, flowering, ripening).
+	for _, st := range []string{"tillering_begins", "flowering", "ripening"} {
+		add("noFertAt_"+st,
+			a("isAtGrowingStage", v("X"), v("Z")),
+			a("isPerformedOn", v("X1"), v("X")),
+			a(st, v("Z")),
+			a("durum_wheat", v("X")),
+			a("fertilization", v("X1")),
+		)
+	}
+	// v1 #4: cereal-after-cereal rotation violation.
+	add("noCerealPrecedent",
+		a("hasPrecedent", v("S"), v("C")),
+		a("sorghum", v("C")),
+		a("isCultivatedOn", v("W"), v("S")),
+		a("durum_wheat", v("W")),
+	)
+	// v1 #5: incompatible simultaneous growth stages.
+	add("stageClash",
+		a("isAtGrowingStage", v("W"), v("G1")),
+		a("isAtGrowingStage", v("W"), v("G2")),
+		a("incompatibleStages", v("G1"), v("G2")),
+	)
+	// v1 #6: chemically incompatible treatments on the same wheat.
+	add("treatmentClash",
+		a("treatedWith", v("W"), v("T1")),
+		a("treatedWith", v("W"), v("T2")),
+		a("incompatibleTreatments", v("T1"), v("T2")),
+	)
+	// v1 #7: operationally incompatible field operations on the same wheat.
+	add("operationClash",
+		a("isPerformedOn", v("O1"), v("W")),
+		a("isPerformedOn", v("O2"), v("W")),
+		a("incompatibleOps", v("O1"), v("O2")),
+	)
+	// v1 #8–25: per-pest banned treatments (18).
+	for k := 0; k < 18; k++ {
+		add(fmt.Sprintf("bannedTreatment%d", k),
+			a("treatedWith", v("W"), v("T")),
+			a("bannedFor", v("T"), pest(k)),
+			a("hasPest", v("W"), pest(k)),
+		)
+	}
+	// v1 #26–27: constraints over *derived* predicates — violated only
+	// after the chase records stages and operations (the TGD/CDD interplay
+	// the paper's KB exhibits).
+	add("lateFertClash",
+		a("reached_tillering_begins", v("W")),
+		a("received_fertilization", v("W")),
+	)
+	add("floweringIrrigClash",
+		a("reached_flowering", v("W")),
+		a("received_irrigation", v("W")),
+	)
+
+	if ver == V1 {
+		return out
+	}
+
+	// v2 adds 73 finer-grained constraints.
+	// 14: irrigation/tillage forbidden at every stage…
+	for _, t := range []string{"irrigation", "tillage"} {
+		for k := range stages {
+			add(fmt.Sprintf("no_%s_at_%s", t, stages[k]),
+				a("isAtGrowingStage", v("X"), v("Z")),
+				a("isPerformedOn", v("X1"), v("X")),
+				a(stages[k], v("Z")),
+				a(t, v("X1")),
+			)
+		}
+	}
+	// 4: fertilization forbidden at the remaining stages.
+	for _, st := range []string{"germination", "tillering_ends", "stem_extension", "heading"} {
+		add("noFertAt_"+st,
+			a("isAtGrowingStage", v("X"), v("Z")),
+			a("isPerformedOn", v("X1"), v("X")),
+			a(st, v("Z")),
+			a("fertilization", v("X1")),
+		)
+	}
+	// 15: pests that must not occur on given soil types (3 soils × 5 pests).
+	for si := 0; si < 3; si++ {
+		for k := 0; k < 5; k++ {
+			add(fmt.Sprintf("soilPest_%s_%d", soilTypes[si], k),
+				a("isCultivatedOn", v("W"), v("S")),
+				a(soilTypes[si], v("S")),
+				a("hasPest", v("W"), pest(k)),
+			)
+		}
+	}
+	// 40: taxonomy-level precedent bans — crops of taxon c_j must not
+	// precede a durum cultivation.
+	n := 0
+	for c := 0; c < 8 && n < 40; c++ {
+		for j := 1; j <= 5 && n < 40; j++ {
+			add(fmt.Sprintf("noTaxPrecedent%d_%d", c, j),
+				a("hasPrecedent", v("S"), v("C")),
+				a(fmt.Sprintf("cropTax%d_%d", c, j), v("C")),
+				a("isCultivatedOn", v("W"), v("S")),
+			)
+			n++
+		}
+	}
+	return out
+}
+
+// buildFacts assembles exactly targetFacts ground atoms, planting the
+// conflict structure of the published tables: a small set of "hub" wheats
+// participating in many overlapping violations (avg scope ≈ 8), for ≈14%
+// of atoms involved in conflicts.
+func buildFacts() *store.Store {
+	st := store.New()
+	addf := func(at logic.Atom) store.FactID { return st.MustAdd(at) }
+
+	// Entities.
+	for i := 0; i < numWheats; i++ {
+		addf(a("durum_wheat", wheat(i)))
+	}
+	for i := 0; i < numSoils; i++ {
+		addf(a("soil", soil(i)))
+	}
+	for k := range stages {
+		addf(a(stages[k], stageID(k)))
+	}
+	for i := 0; i < numPests; i++ {
+		addf(a("pest", pest(i)))
+	}
+	for i := 0; i < numTreatments; i++ {
+		addf(a("treatment", treat(i)))
+	}
+	// Soil typing: each soil gets a type, round robin.
+	for i := 0; i < numSoils; i++ {
+		addf(a(soilTypes[i%len(soilTypes)], soil(i)))
+	}
+	// Cultivations: wheat i grows on soil i%numSoils (first 25 wheats).
+	for i := 0; i < 25; i++ {
+		addf(a("isCultivatedOn", wheat(i), soil(i%numSoils)))
+	}
+	// Precedents: clean soybean precedents on most soils.
+	for i := 0; i < 14; i++ {
+		prev := logic.C(fmt.Sprintf("soy_crop%d", i))
+		addf(a("hasPrecedent", soil(i), prev))
+		addf(a("soybean", prev))
+		addf(a("legume", prev))
+	}
+	// Stage assignments: every wheat is at a safe stage by default.
+	for i := 0; i < numWheats; i++ {
+		addf(a("isAtGrowingStage", wheat(i), stageID(3))) // stem_extension (safe in v1)
+	}
+	// Operations: typed, performed on wheats.
+	for i := 0; i < numOps; i++ {
+		addf(a(opTypes[i%len(opTypes)], op(i)))
+	}
+	// Paper's Figure 2 example facts, verbatim.
+	addf(a("hasPrecedent", logic.C("soil2"), logic.C("vacoparis")))
+	addf(a("sorghum", logic.C("vacoparis")))
+	// (soil(soil2) already present via the soil entity loop: soil indexes
+	// are the same constant space.)
+
+	// ---- Conflict planting ----
+	// The published table reports 185 heavily-overlapping conflicts over
+	// only 79 atoms (avg scope ≈ 8): a small set of shared "hub" atoms
+	// participating in many violations. The grids below reproduce that
+	// density.
+
+	// Hub 1: wheat0 is (incorrectly recorded as) at tillering begin while
+	// 5 fertilization operations target it → 5 overlapping noFertAt
+	// conflicts sharing the stage atoms, plus the derived lateFertClash.
+	addf(a("isAtGrowingStage", wheat(0), stageID(1))) // tillering_begins
+	for i := 0; i < 5; i++ {
+		addf(a("isPerformedOn", op(i*3), wheat(0))) // op(i*3) is fertilization
+	}
+	// Hub 2: wheat1 at flowering with 3 fertilizations and 1 irrigation
+	// (the latter triggers the derived floweringIrrigClash).
+	addf(a("isAtGrowingStage", wheat(1), stageID(5)))
+	for i := 0; i < 3; i++ {
+		addf(a("isPerformedOn", op(i*3+15), wheat(1)))
+	}
+	addf(a("isPerformedOn", op(16), wheat(1))) // op16 is irrigation
+
+	// Operation-clash grid: five tillage operations, all pairwise
+	// incompatible (both directions), each performed on five wheats — each
+	// wheat yields 10·2 operationClash homomorphisms over shared
+	// incompatibility atoms.
+	clashOps := []int{2, 5, 8, 11, 14} // tillage-typed operation ids
+	clashWheats := []int{2, 12, 13, 21, 22}
+	for _, w := range clashWheats {
+		for _, o := range clashOps {
+			addf(a("isPerformedOn", op(o), wheat(w)))
+		}
+	}
+	for i := 0; i < len(clashOps); i++ {
+		for j := 0; j < len(clashOps); j++ {
+			if i != j {
+				addf(a("incompatibleOps", op(clashOps[i]), op(clashOps[j])))
+			}
+		}
+	}
+
+	// Treatment-clash grid: three mutually incompatible treatments on
+	// three wheats.
+	for _, w := range []int{3, 14, 23} {
+		for i := 0; i < 3; i++ {
+			addf(a("treatedWith", wheat(w), treat(i)))
+		}
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i != j {
+				addf(a("incompatibleTreatments", treat(i), treat(j)))
+			}
+		}
+	}
+
+	// Banned-treatment conflicts: wheats 4..6 treated with a treatment
+	// banned for a pest they carry.
+	for i := 4; i < 7; i++ {
+		k := i - 4
+		addf(a("treatedWith", wheat(i), treat(10+k)))
+		addf(a("bannedFor", treat(10+k), pest(k)))
+		addf(a("hasPest", wheat(i), pest(k)))
+	}
+
+	// Cereal-precedent conflict: wheat10 is cultivated on soil2, whose
+	// precedent is the sorghum vacoparis (the Figure 2 facts above).
+	addf(a("isCultivatedOn", wheat(10), logic.C("soil2")))
+
+	// Stage clash: wheat11 recorded at two incompatible stages.
+	addf(a("isAtGrowingStage", wheat(11), stageID(0)))
+	addf(a("incompatibleStages", stageID(0), stageID(3)))
+
+	// Benign pest records (no ban in v1).
+	for i := 15; i < 20; i++ {
+		addf(a("hasPest", wheat(i), pest(10+(i-15))))
+	}
+
+	// Precedents pointing at taxonomy crops: harmless under v1, but v2's
+	// noTaxPrecedent constraints discover conflicts here at chase depths
+	// 1–5 as the taxonomy chains derive the crop's ancestors.
+	addf(a("hasPrecedent", soil(15), logic.C("crop_t0_0")))
+	addf(a("isCultivatedOn", wheat(20), soil(15)))
+	addf(a("hasPrecedent", soil(16), logic.C("crop_t1_0")))
+	addf(a("isCultivatedOn", wheat(24), soil(16)))
+
+	// Monitored parcels: two wheats walk the full traceability ledger,
+	// giving the chase its published depth.
+	addf(a("monitoredParcel", wheat(0)))
+	addf(a("monitoredParcel", wheat(5)))
+
+	// Taxonomy seeds: two crops per taxonomy chain.
+	for c := 0; c < 8; c++ {
+		for x := 0; x < 2; x++ {
+			addf(a(fmt.Sprintf("cropTax%d_0", c), logic.C(fmt.Sprintf("crop_t%d_%d", c, x))))
+		}
+	}
+
+	// ---- Padding to the published base size ----
+	padSeq := 0
+	for st.Len() < targetFacts {
+		padSeq++
+		addf(a("fieldObservation",
+			logic.C(fmt.Sprintf("obs%d", padSeq)),
+			logic.C(fmt.Sprintf("note%d", padSeq))))
+	}
+	return st
+}

@@ -1,0 +1,103 @@
+package durum
+
+import (
+	"testing"
+
+	"kbrepair/internal/inquiry"
+)
+
+func TestBuildV1Characteristics(t *testing.T) {
+	kb, info, err := Build(V1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Facts != 567 {
+		t.Errorf("facts = %d, want 567", info.Facts)
+	}
+	if info.NumTGDs != 269 {
+		t.Errorf("tgds = %d, want 269", info.NumTGDs)
+	}
+	if info.NumCDDs != 27 {
+		t.Errorf("cdds = %d, want 27", info.NumCDDs)
+	}
+	// Published: chase ≈ 1075 atoms; accept the same order of magnitude.
+	if info.ChaseSize < 800 || info.ChaseSize > 1500 {
+		t.Errorf("chase size = %d, want ≈1075", info.ChaseSize)
+	}
+	// Published: 185 conflicts, 14%% inconsistency (79 atoms), scope ≈ 8.
+	if info.TotalConflicts < 30 || info.TotalConflicts > 400 {
+		t.Errorf("conflicts = %d, want ≈185", info.TotalConflicts)
+	}
+	if info.InconsistencyRatio < 0.05 || info.InconsistencyRatio > 0.3 {
+		t.Errorf("inconsistency = %.3f, want ≈0.14", info.InconsistencyRatio)
+	}
+	if info.AvgScope < 2 {
+		t.Errorf("avg scope = %.2f, want overlapping conflicts (≈8)", info.AvgScope)
+	}
+	if err := kb.Validate(); err != nil {
+		t.Errorf("KB invalid: %v", err)
+	}
+	t.Logf("v1 info: %+v", info)
+}
+
+func TestBuildV2Characteristics(t *testing.T) {
+	_, info, err := Build(V2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.NumCDDs != 100 {
+		t.Errorf("cdds = %d, want 100", info.NumCDDs)
+	}
+	if info.Facts != 567 {
+		t.Errorf("facts = %d, want 567", info.Facts)
+	}
+	_, v1Info, err := Build(V1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v2 discovers more conflicts than v1 on the same facts.
+	if info.TotalConflicts <= v1Info.TotalConflicts {
+		t.Errorf("v2 conflicts (%d) not above v1 (%d)", info.TotalConflicts, v1Info.TotalConflicts)
+	}
+	t.Logf("v2 info: %+v", info)
+}
+
+func TestBuildUnknownVersion(t *testing.T) {
+	if _, _, err := Build(Version(9)); err == nil {
+		t.Error("unknown version accepted")
+	}
+}
+
+func TestRulesCompatible(t *testing.T) {
+	kb, _, err := Build(V2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := kb.RulesCompatible()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("durum rules incompatible: TGDs alone force a CDD violation")
+	}
+}
+
+func TestDurumRepairable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full durum inquiry is slow")
+	}
+	kb, _, err := Build(V1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := inquiry.New(kb, inquiry.OptiMCD{}, inquiry.NewSimulatedUser(1), 1, inquiry.Options{})
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consistent {
+		t.Error("inquiry left durum KB inconsistent")
+	}
+	t.Logf("durum v1 repaired with %d questions (naive=%d total=%d)",
+		res.Questions, res.InitialNaive, res.InitialTotal)
+}

@@ -1,0 +1,365 @@
+// Package exp implements the experiment harness reproducing §6 of the
+// paper: one runner per table/figure, each returning structured results
+// that cmd/kbbench renders as the same rows/series the paper reports and
+// bench_test.go wraps as Go benchmarks.
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"kbrepair/internal/core"
+	"kbrepair/internal/durum"
+	"kbrepair/internal/inquiry"
+	"kbrepair/internal/stats"
+	"kbrepair/internal/synth"
+)
+
+// StrategyAvg aggregates one strategy's effectiveness over repetitions —
+// the bars of Figures 2 and 3.
+type StrategyAvg struct {
+	Strategy string
+	// AvgQuestions is the mean number of questions to full consistency.
+	AvgQuestions float64
+	// AvgConflictsPerQuestion is total conflicts / total questions, the
+	// paper's Figures 2(c,d) and 3(b) metric.
+	AvgConflictsPerQuestion float64
+	// AvgDelaySeconds is the mean question-generation delay.
+	AvgDelaySeconds float64
+	Repetitions     int
+}
+
+// runOne executes one inquiry on a clone of the KB and returns the result.
+func runOne(kb *core.KB, strat inquiry.Strategy, seed int64, opts inquiry.Options) (*inquiry.Result, error) {
+	clone := kb.Clone()
+	e := inquiry.New(clone, strat, inquiry.NewSimulatedUser(seed), seed, opts)
+	return e.Run()
+}
+
+// RunStrategies measures every strategy on the KB over the given number of
+// repetitions with a simulated random user, as in the paper's setup.
+func RunStrategies(kb *core.KB, reps int, seed int64, opts inquiry.Options) ([]StrategyAvg, error) {
+	var out []StrategyAvg
+	for _, strat := range inquiry.AllStrategies() {
+		var totalQ, totalConf int
+		var delays []time.Duration
+		for r := 0; r < reps; r++ {
+			res, err := runOne(kb, strat, seed+int64(r)*1000+int64(len(out)), opts)
+			if err != nil {
+				return nil, fmt.Errorf("%s rep %d: %w", strat.Name(), r, err)
+			}
+			if !res.Consistent {
+				return nil, fmt.Errorf("%s rep %d: inquiry ended inconsistent", strat.Name(), r)
+			}
+			totalQ += res.Questions
+			totalConf += res.InitialTotal
+			delays = append(delays, res.Delays()...)
+		}
+		avg := StrategyAvg{
+			Strategy:     strat.Name(),
+			Repetitions:  reps,
+			AvgQuestions: float64(totalQ) / float64(reps),
+		}
+		if totalQ > 0 {
+			avg.AvgConflictsPerQuestion = float64(totalConf) / float64(totalQ)
+		}
+		avg.AvgDelaySeconds = stats.SummarizeDurations(delays).Mean
+		out = append(out, avg)
+	}
+	return out, nil
+}
+
+// Fig2Result is one Durum Wheat panel of Figure 2: the KB characteristics
+// table plus per-strategy averages (questions and conflicts/question).
+type Fig2Result struct {
+	Version string
+	Info    synth.Info
+	Rows    []StrategyAvg
+}
+
+// RunFig2 reproduces Figure 2 (a)–(d) for one Durum Wheat version.
+func RunFig2(v durum.Version, reps int, seed int64) (*Fig2Result, error) {
+	kb, info, err := durum.Build(v)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := RunStrategies(kb, reps, seed, inquiry.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Fig2Result{
+		Version: fmt.Sprintf("Durum Wheat v%d", int(v)),
+		Info:    info,
+		Rows:    rows,
+	}, nil
+}
+
+// Fig3Row is one inconsistency-ratio column of Figure 3 with its KB
+// characteristics (the figure's companion table).
+type Fig3Row struct {
+	Ratio float64
+	Info  synth.Info
+	Rows  []StrategyAvg
+}
+
+// Fig3Params scale the Figure 3 experiment (paper: 1005 atoms, ratios
+// 5–30%, 6 repetitions, CDDs only).
+type Fig3Params struct {
+	NumFacts int
+	Ratios   []float64
+	Reps     int
+	Seed     int64
+}
+
+// DefaultFig3 returns the paper-scale parameters.
+func DefaultFig3() Fig3Params {
+	return Fig3Params{
+		NumFacts: 1005,
+		Ratios:   []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30},
+		Reps:     6,
+		Seed:     1,
+	}
+}
+
+// RunFig3 reproduces Figure 3 (a), (b) and its table: synthetic CDD-only
+// KBs of fixed size with increasing inconsistency ratio.
+func RunFig3(p Fig3Params) ([]Fig3Row, error) {
+	var out []Fig3Row
+	for i, ratio := range p.Ratios {
+		g, err := synth.Generate(synth.Params{
+			Seed:               p.Seed + int64(i),
+			NumFacts:           p.NumFacts,
+			InconsistencyRatio: ratio,
+			NumCDDs:            15,
+			JoinVarRatio:       0.25,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows, err := RunStrategies(g.KB, p.Reps, p.Seed+int64(i)*100, inquiry.Options{})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig3Row{Ratio: ratio, Info: g.Info, Rows: rows})
+	}
+	return out, nil
+}
+
+// ConvergenceSeries is one line of Figure 4: remaining conflicts after
+// each question, per strategy. Index 0 is the state before any question.
+type ConvergenceSeries struct {
+	Strategy  string
+	Conflicts []int
+}
+
+// Fig4Params scale the convergence experiments. Figure 4(a): 3004 atoms,
+// 25% ratio, CDDs only. Figure 4(b): 800 atoms, 25% ratio, 50 CDDs, 25
+// TGDs.
+type Fig4Params struct {
+	NumFacts int
+	Ratio    float64
+	NumCDDs  int
+	NumTGDs  int
+	Seed     int64
+}
+
+// DefaultFig4a returns the paper-scale Figure 4(a) parameters.
+func DefaultFig4a() Fig4Params {
+	return Fig4Params{NumFacts: 3004, Ratio: 0.25, NumCDDs: 20, Seed: 4}
+}
+
+// DefaultFig4b returns the paper-scale Figure 4(b) parameters.
+func DefaultFig4b() Fig4Params {
+	return Fig4Params{NumFacts: 800, Ratio: 0.25, NumCDDs: 50, NumTGDs: 25, Seed: 5}
+}
+
+// RunFig4 reproduces a Figure 4 panel: the per-question conflict series of
+// every strategy on one fixed KB.
+func RunFig4(p Fig4Params) ([]ConvergenceSeries, synth.Info, error) {
+	g, err := synth.Generate(synth.Params{
+		Seed:               p.Seed,
+		NumFacts:           p.NumFacts,
+		InconsistencyRatio: p.Ratio,
+		NumCDDs:            p.NumCDDs,
+		NumTGDs:            p.NumTGDs,
+	})
+	if err != nil {
+		return nil, synth.Info{}, err
+	}
+	var out []ConvergenceSeries
+	for _, strat := range inquiry.AllStrategies() {
+		res, err := runOne(g.KB, strat, p.Seed, inquiry.Options{TrackConflictSeries: true})
+		if err != nil {
+			return nil, g.Info, fmt.Errorf("%s: %w", strat.Name(), err)
+		}
+		series := append([]int{res.InitialTotal}, res.ConflictSeries()...)
+		out = append(out, ConvergenceSeries{Strategy: strat.Name(), Conflicts: series})
+	}
+	return out, g.Info, nil
+}
+
+// DelayPoint is one box of a Figure 5 boxplot: the per-question delay
+// distribution for one x-axis label.
+type DelayPoint struct {
+	Label   string
+	Summary stats.Summary
+	Info    synth.Info
+}
+
+// Fig5aParams scale Figure 5(a): fixed size, increasing inconsistency,
+// opti-mcd (paper: 3000 atoms, 20–80%, 5 repetitions).
+type Fig5aParams struct {
+	NumFacts int
+	Ratios   []float64
+	Reps     int
+	Seed     int64
+}
+
+// DefaultFig5a returns the paper-scale parameters.
+func DefaultFig5a() Fig5aParams {
+	return Fig5aParams{
+		NumFacts: 3000,
+		Ratios:   []float64{0.20, 0.40, 0.60, 0.80},
+		Reps:     5,
+		Seed:     6,
+	}
+}
+
+// RunFig5a reproduces Figure 5(a): delay-time boxplots vs. inconsistency
+// ratio with the opti-mcd strategy.
+func RunFig5a(p Fig5aParams) ([]DelayPoint, error) {
+	var out []DelayPoint
+	for i, ratio := range p.Ratios {
+		g, err := synth.Generate(synth.Params{
+			Seed:               p.Seed + int64(i),
+			NumFacts:           p.NumFacts,
+			InconsistencyRatio: ratio,
+			NumCDDs:            20,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var delays []time.Duration
+		for r := 0; r < p.Reps; r++ {
+			res, err := runOne(g.KB, inquiry.OptiMCD{}, p.Seed+int64(i*100+r), inquiry.Options{})
+			if err != nil {
+				return nil, err
+			}
+			delays = append(delays, res.Delays()...)
+		}
+		out = append(out, DelayPoint{
+			Label:   fmt.Sprintf("%d%%", int(ratio*100)),
+			Summary: stats.SummarizeDurations(delays),
+			Info:    g.Info,
+		})
+	}
+	return out, nil
+}
+
+// Fig5bParams scale Figure 5(b): increasing KB size, fixed 30% ratio
+// (paper: 3000 atoms grown by up to 20/40/60%).
+type Fig5bParams struct {
+	BaseFacts int
+	Growths   []float64
+	Reps      int
+	Seed      int64
+}
+
+// DefaultFig5b returns the paper-scale parameters.
+func DefaultFig5b() Fig5bParams {
+	return Fig5bParams{
+		BaseFacts: 3000,
+		Growths:   []float64{0, 0.20, 0.40, 0.60},
+		Reps:      5,
+		Seed:      7,
+	}
+}
+
+// RunFig5b reproduces Figure 5(b): delay-time boxplots vs. KB size.
+func RunFig5b(p Fig5bParams) ([]DelayPoint, error) {
+	var out []DelayPoint
+	for i, growth := range p.Growths {
+		size := int(float64(p.BaseFacts) * (1 + growth))
+		g, err := synth.Generate(synth.Params{
+			Seed:               p.Seed + int64(i),
+			NumFacts:           size,
+			InconsistencyRatio: 0.30,
+			NumCDDs:            20,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var delays []time.Duration
+		for r := 0; r < p.Reps; r++ {
+			res, err := runOne(g.KB, inquiry.OptiMCD{}, p.Seed+int64(i*100+r), inquiry.Options{})
+			if err != nil {
+				return nil, err
+			}
+			delays = append(delays, res.Delays()...)
+		}
+		out = append(out, DelayPoint{
+			Label:   fmt.Sprintf("+%d%%", int(growth*100)),
+			Summary: stats.SummarizeDurations(delays),
+			Info:    g.Info,
+		})
+	}
+	return out, nil
+}
+
+// Fig5cParams scale Figure 5(c): fully inconsistent KB with increasing
+// dependency depth (paper: 400 atoms, ratio 100%, 150 CDDs, depth d with
+// 50·d TGDs).
+type Fig5cParams struct {
+	NumFacts    int
+	NumCDDs     int
+	Depths      []int
+	TGDsPerStep int
+	Reps        int
+	Seed        int64
+}
+
+// DefaultFig5c returns the paper-scale parameters.
+func DefaultFig5c() Fig5cParams {
+	return Fig5cParams{
+		NumFacts:    400,
+		NumCDDs:     150,
+		Depths:      []int{1, 2, 3, 4},
+		TGDsPerStep: 50,
+		Reps:        5,
+		Seed:        8,
+	}
+}
+
+// RunFig5c reproduces Figure 5(c): delay-time boxplots vs. dependency
+// depth on a fully inconsistent KB, opti-mcd strategy.
+func RunFig5c(p Fig5cParams) ([]DelayPoint, error) {
+	var out []DelayPoint
+	for i, depth := range p.Depths {
+		g, err := synth.Generate(synth.Params{
+			Seed:                  p.Seed + int64(i),
+			NumFacts:              p.NumFacts,
+			InconsistencyRatio:    1.0,
+			NumCDDs:               p.NumCDDs,
+			NumTGDs:               p.TGDsPerStep * depth,
+			Depth:                 depth,
+			ChaseConflictFraction: 0.5,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var delays []time.Duration
+		for r := 0; r < p.Reps; r++ {
+			res, err := runOne(g.KB, inquiry.OptiMCD{}, p.Seed+int64(i*100+r), inquiry.Options{})
+			if err != nil {
+				return nil, err
+			}
+			delays = append(delays, res.Delays()...)
+		}
+		out = append(out, DelayPoint{
+			Label:   fmt.Sprintf("d%d", depth),
+			Summary: stats.SummarizeDurations(delays),
+			Info:    g.Info,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,201 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"kbrepair/internal/durum"
+)
+
+// Small-scale parameter sets keep the test suite fast; paper-scale runs
+// live in cmd/kbbench and bench_test.go.
+
+func smallFig3() Fig3Params {
+	return Fig3Params{NumFacts: 80, Ratios: []float64{0.1, 0.2}, Reps: 2, Seed: 1}
+}
+
+func TestRunFig2Small(t *testing.T) {
+	res, err := RunFig2(durum.V1, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byName := map[string]StrategyAvg{}
+	for _, r := range res.Rows {
+		if r.AvgQuestions <= 0 {
+			t.Errorf("%s: no questions", r.Strategy)
+		}
+		if r.AvgConflictsPerQuestion <= 0 {
+			t.Errorf("%s: no conflicts per question", r.Strategy)
+		}
+		byName[r.Strategy] = r
+	}
+	// The paper's headline: opti-mcd needs the fewest questions on Durum
+	// Wheat (overlapping conflicts). Allow slack but require it to beat
+	// the random baseline.
+	if byName["opti-mcd"].AvgQuestions >= byName["random"].AvgQuestions {
+		t.Errorf("opti-mcd (%.1f) not better than random (%.1f)",
+			byName["opti-mcd"].AvgQuestions, byName["random"].AvgQuestions)
+	}
+	var buf bytes.Buffer
+	WriteFig2(&buf, res)
+	if !strings.Contains(buf.String(), "opti-mcd") {
+		t.Error("report missing strategy rows")
+	}
+}
+
+func TestRunFig3Small(t *testing.T) {
+	rows, err := RunFig3(smallFig3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Questions grow with inconsistency in aggregate. (Per-strategy
+	// monotonicity is a large-scale trend, not a guarantee: on tiny KBs a
+	// higher ratio can increase conflict overlap enough that opti-mcd
+	// resolves more per question.)
+	sum := func(i int) float64 {
+		total := 0.0
+		for _, r := range rows[i].Rows {
+			total += r.AvgQuestions
+		}
+		return total
+	}
+	if sum(1) < sum(0) {
+		t.Errorf("aggregate questions decreased with inconsistency (%.1f -> %.1f)", sum(0), sum(1))
+	}
+	var buf bytes.Buffer
+	WriteFig3(&buf, rows)
+	if !strings.Contains(buf.String(), "inconsistency 10%") {
+		t.Errorf("report missing ratio header:\n%s", buf.String())
+	}
+}
+
+func TestRunFig4Small(t *testing.T) {
+	series, info, err := RunFig4(Fig4Params{NumFacts: 60, Ratio: 0.2, NumCDDs: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("series = %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.Conflicts) < 2 {
+			t.Fatalf("%s: series too short: %v", s.Strategy, s.Conflicts)
+		}
+		if s.Conflicts[0] != info.TotalConflicts {
+			t.Errorf("%s: series starts at %d, want %d", s.Strategy, s.Conflicts[0], info.TotalConflicts)
+		}
+		if s.Conflicts[len(s.Conflicts)-1] != 0 {
+			t.Errorf("%s: series does not reach 0: %v", s.Strategy, s.Conflicts)
+		}
+	}
+	var buf bytes.Buffer
+	WriteConvergence(&buf, "test", series, info)
+	if buf.Len() == 0 {
+		t.Error("empty convergence report")
+	}
+}
+
+func TestRunFig4WithTGDs(t *testing.T) {
+	series, info, err := RunFig4(Fig4Params{NumFacts: 70, Ratio: 0.25, NumCDDs: 8, NumTGDs: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.TotalConflicts <= info.NaiveConflicts {
+		t.Skip("generated KB has no chase-only conflicts under this seed")
+	}
+	for _, s := range series {
+		if s.Conflicts[len(s.Conflicts)-1] != 0 {
+			t.Errorf("%s: did not converge", s.Strategy)
+		}
+	}
+}
+
+func TestRunFig5Small(t *testing.T) {
+	a, err := RunFig5a(Fig5aParams{NumFacts: 60, Ratios: []float64{0.2, 0.4}, Reps: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 2 || a[0].Summary.N == 0 {
+		t.Fatalf("fig5a = %+v", a)
+	}
+	b, err := RunFig5b(Fig5bParams{BaseFacts: 50, Growths: []float64{0, 0.4}, Reps: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 2 {
+		t.Fatalf("fig5b = %+v", b)
+	}
+	c, err := RunFig5c(Fig5cParams{NumFacts: 40, NumCDDs: 6, Depths: []int{1, 2}, TGDsPerStep: 3, Reps: 2, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) != 2 {
+		t.Fatalf("fig5c = %+v", c)
+	}
+	var buf bytes.Buffer
+	WriteDelays(&buf, "a", a)
+	WriteDelays(&buf, "b", b)
+	WriteDelays(&buf, "c", c)
+	if !strings.Contains(buf.String(), "mean(s)") {
+		t.Error("delay report malformed")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	pi, err := RunAblationPiRep(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi.OptimizedTime <= 0 || pi.DisabledTime <= 0 {
+		t.Errorf("ablation times: %+v", pi)
+	}
+	if pi.FastHits == 0 {
+		t.Error("optimized run never used the fast path")
+	}
+	inc, err := RunAblationIncremental(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	WriteAblation(&buf, pi)
+	WriteAblation(&buf, inc)
+	if !strings.Contains(buf.String(), "speedup") {
+		t.Error("ablation report malformed")
+	}
+}
+
+func TestRunUserModel(t *testing.T) {
+	points, err := RunUserModel(UserModelParams{
+		NumFacts: 60, Ratio: 0.2, ErrorRates: []float64{0, 1}, Reps: 2, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// A perfect oracle leaves no residual difference.
+	if points[0].AvgResidualDiff != 0 {
+		t.Errorf("zero-noise residual = %.1f", points[0].AvgResidualDiff)
+	}
+	if points[0].AvgMistakes != 0 {
+		t.Errorf("zero-noise mistakes = %.1f", points[0].AvgMistakes)
+	}
+	// A fully random user drifts from the intended repair.
+	if points[1].AvgResidualDiff <= points[0].AvgResidualDiff {
+		t.Errorf("noise did not increase residual: %.1f vs %.1f",
+			points[1].AvgResidualDiff, points[0].AvgResidualDiff)
+	}
+	var buf bytes.Buffer
+	WriteUserModel(&buf, points)
+	if !strings.Contains(buf.String(), "error rate") {
+		t.Error("report malformed")
+	}
+}

@@ -1,0 +1,95 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"kbrepair/internal/synth"
+)
+
+// WriteInfoTable renders the KB characteristics table the paper attaches
+// to each experiment.
+func WriteInfoTable(w io.Writer, label string, info synth.Info) {
+	fmt.Fprintf(w, "KB: %s\n", label)
+	fmt.Fprintf(w, "  size (#atoms)        %d\n", info.Facts)
+	fmt.Fprintf(w, "  chase size (#atoms)  %d\n", info.ChaseSize)
+	fmt.Fprintf(w, "  #TGDs                %d\n", info.NumTGDs)
+	fmt.Fprintf(w, "  #CDDs                %d\n", info.NumCDDs)
+	fmt.Fprintf(w, "  conflicts            %d (naive %d)\n", info.TotalConflicts, info.NaiveConflicts)
+	fmt.Fprintf(w, "  inconsistency ratio  %.1f%% (%d atoms)\n", info.InconsistencyRatio*100, info.AtomsInConflicts)
+	fmt.Fprintf(w, "  avg #atoms/conflict  %.2f\n", info.AvgAtomsPerConflict)
+	fmt.Fprintf(w, "  avg #atoms/overlap   %.2f\n", info.AvgAtomsPerOverlap)
+	fmt.Fprintf(w, "  avg scope            %.2f\n", info.AvgScope)
+	fmt.Fprintf(w, "  join positions       %.0f%%\n", info.JoinPositionPct*100)
+}
+
+// WriteStrategyTable renders the per-strategy averages (Figures 2/3).
+func WriteStrategyTable(w io.Writer, rows []StrategyAvg) {
+	fmt.Fprintf(w, "  %-10s %14s %20s %14s\n", "strategy", "avg #questions", "avg conflicts/quest.", "avg delay (s)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-10s %14.2f %20.2f %14.4f\n",
+			r.Strategy, r.AvgQuestions, r.AvgConflictsPerQuestion, r.AvgDelaySeconds)
+	}
+}
+
+// WriteFig2 renders a whole Figure 2 panel.
+func WriteFig2(w io.Writer, res *Fig2Result) {
+	fmt.Fprintf(w, "== Figure 2 — %s ==\n", res.Version)
+	WriteInfoTable(w, res.Version, res.Info)
+	WriteStrategyTable(w, res.Rows)
+	fmt.Fprintln(w)
+}
+
+// WriteFig3 renders the Figure 3 series and companion table.
+func WriteFig3(w io.Writer, rows []Fig3Row) {
+	fmt.Fprintln(w, "== Figure 3 — synthetic KBs, CDDs only, increasing inconsistency ==")
+	for _, row := range rows {
+		fmt.Fprintf(w, "-- inconsistency %.0f%% --\n", row.Ratio*100)
+		WriteInfoTable(w, fmt.Sprintf("synthetic %.0f%%", row.Ratio*100), row.Info)
+		WriteStrategyTable(w, row.Rows)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteConvergence renders a Figure 4 panel as one series per strategy.
+func WriteConvergence(w io.Writer, label string, series []ConvergenceSeries, info synth.Info) {
+	fmt.Fprintf(w, "== Figure 4 — convergence (%s) ==\n", label)
+	WriteInfoTable(w, label, info)
+	for _, s := range series {
+		fmt.Fprintf(w, "  %-10s (%d questions): ", s.Strategy, len(s.Conflicts)-1)
+		parts := make([]string, 0, len(s.Conflicts))
+		for i, c := range s.Conflicts {
+			// Thin long series for readability: print every step for short
+			// runs, every 5th point for long ones, always first and last.
+			if len(s.Conflicts) > 40 && i%5 != 0 && i != len(s.Conflicts)-1 {
+				continue
+			}
+			parts = append(parts, fmt.Sprintf("%d", c))
+		}
+		fmt.Fprintln(w, strings.Join(parts, " "))
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteDelays renders a Figure 5 panel as one boxplot summary per label.
+func WriteDelays(w io.Writer, label string, points []DelayPoint) {
+	fmt.Fprintf(w, "== Figure 5 — delay time (%s) ==\n", label)
+	fmt.Fprintf(w, "  %-6s %10s %10s %10s %10s %10s %10s %9s\n",
+		"x", "mean(s)", "median", "q1", "q3", "min", "max", "outliers")
+	for _, p := range points {
+		s := p.Summary
+		fmt.Fprintf(w, "  %-6s %10.4f %10.4f %10.4f %10.4f %10.4f %10.4f %9d\n",
+			p.Label, s.Mean, s.Median, s.Q1, s.Q3, s.Min, s.Max, len(s.Outliers))
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteAblation renders an ablation comparison.
+func WriteAblation(w io.Writer, res *AblationResult) {
+	fmt.Fprintf(w, "== Ablation — %s ==\n", res.Name)
+	fmt.Fprintf(w, "  optimized  %12s (fast-path hits %d, full checks %d)\n",
+		res.OptimizedTime.Round(10e3), res.FastHits, res.FullChecks)
+	fmt.Fprintf(w, "  disabled   %12s\n", res.DisabledTime.Round(10e3))
+	fmt.Fprintf(w, "  speedup    %12.2fx\n\n", res.Speedup)
+}

@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"kbrepair/internal/core"
+	"kbrepair/internal/inquiry"
+	"kbrepair/internal/store"
+	"kbrepair/internal/synth"
+)
+
+// UserModelPoint is one row of the user-model robustness study (an
+// extension of the paper motivated by its §7 future work): how the inquiry
+// degrades as the answering user gets noisier.
+type UserModelPoint struct {
+	// ErrorRate is the oracle's probability of answering randomly.
+	ErrorRate float64
+	// AvgQuestions is the mean dialogue length.
+	AvgQuestions float64
+	// AvgResidualDiff is the mean number of positions where the final
+	// (consistent) KB still differs from the oracle's intended repair.
+	AvgResidualDiff float64
+	// AvgMistakes is the mean number of noisy answers actually given.
+	AvgMistakes float64
+	Repetitions int
+}
+
+// UserModelParams scale the study.
+type UserModelParams struct {
+	NumFacts   int
+	Ratio      float64
+	ErrorRates []float64
+	Reps       int
+	Seed       int64
+}
+
+// DefaultUserModel returns the default study parameters.
+func DefaultUserModel() UserModelParams {
+	return UserModelParams{
+		NumFacts:   300,
+		Ratio:      0.2,
+		ErrorRates: []float64{0, 0.1, 0.25, 0.5, 1.0},
+		Reps:       5,
+		Seed:       11,
+	}
+}
+
+// RunUserModel measures dialogue length and distance-to-intended-repair as
+// a function of the oracle's error rate. The intended repair is obtained
+// by first running a clean simulated inquiry (its applied fixes form a
+// valid target by construction); each noisy run then tries to reach it.
+func RunUserModel(p UserModelParams) ([]UserModelPoint, error) {
+	g, err := synth.Generate(synth.Params{
+		Seed:               p.Seed,
+		NumFacts:           p.NumFacts,
+		InconsistencyRatio: p.Ratio,
+		NumCDDs:            12,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Build the oracle's intended repair from one clean inquiry, then
+	// minimize its fix set: Prop. 4.8 expects the oracle's diff to be an
+	// r-fix, and inquiry fix sets are sound but not necessarily minimal.
+	targetKB := g.KB.Clone()
+	te := inquiry.New(targetKB, inquiry.OptiJoin{}, inquiry.NewSimulatedUser(p.Seed), p.Seed, inquiry.Options{})
+	teRes, err := te.Run()
+	if err != nil {
+		return nil, err
+	}
+	minimal, err := core.MinimizeCFix(g.KB.Clone(), teRes.AppliedFixes)
+	if err != nil {
+		return nil, err
+	}
+	targetStore, err := core.Apply(g.KB.Facts, minimal)
+	if err != nil {
+		return nil, err
+	}
+	target := targetStore
+
+	var out []UserModelPoint
+	for _, rate := range p.ErrorRates {
+		var totalQ, totalDiff, totalMistakes int
+		for r := 0; r < p.Reps; r++ {
+			kb := g.KB.Clone()
+			oracle := inquiry.NewOracle(target, p.Seed+int64(r))
+			noisy := inquiry.NewNoisyOracle(oracle, rate, p.Seed+int64(r)*7)
+			e := inquiry.New(kb, inquiry.Random{}, noisy, p.Seed+int64(r), inquiry.Options{})
+			res, err := e.RunBasic()
+			if err != nil {
+				return nil, fmt.Errorf("rate %.2f rep %d: %w", rate, r, err)
+			}
+			if !res.Consistent {
+				return nil, fmt.Errorf("rate %.2f rep %d: inconsistent outcome", rate, r)
+			}
+			totalQ += res.Questions
+			totalDiff += residualDiff(kb, target)
+			totalMistakes += noisy.Mistakes
+		}
+		out = append(out, UserModelPoint{
+			ErrorRate:       rate,
+			AvgQuestions:    float64(totalQ) / float64(p.Reps),
+			AvgResidualDiff: float64(totalDiff) / float64(p.Reps),
+			AvgMistakes:     float64(totalMistakes) / float64(p.Reps),
+			Repetitions:     p.Reps,
+		})
+	}
+	return out, nil
+}
+
+// residualDiff counts positions where the repaired KB differs from the
+// target, treating null-for-null as agreement.
+func residualDiff(kb *core.KB, target *store.Store) int {
+	n := 0
+	for _, id := range kb.Facts.IDs() {
+		for i := 0; i < kb.Facts.Arity(id); i++ {
+			pos := core.Position{Fact: id, Arg: i}
+			cur, want := kb.Facts.Value(pos), target.Value(pos)
+			if cur == want || (cur.IsNull() && want.IsNull()) {
+				continue
+			}
+			n++
+		}
+	}
+	return n
+}
+
+// WriteUserModel renders the study as a table.
+func WriteUserModel(w io.Writer, points []UserModelPoint) {
+	fmt.Fprintln(w, "== Extension — inquiry robustness vs. oracle error rate ==")
+	fmt.Fprintf(w, "  %-10s %12s %14s %12s\n", "error rate", "avg questions", "avg resid. diff", "avg mistakes")
+	for _, p := range points {
+		fmt.Fprintf(w, "  %-10.2f %12.1f %14.1f %12.1f\n",
+			p.ErrorRate, p.AvgQuestions, p.AvgResidualDiff, p.AvgMistakes)
+	}
+	fmt.Fprintln(w)
+}

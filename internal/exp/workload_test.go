@@ -1,0 +1,73 @@
+package exp
+
+import (
+	"testing"
+	"time"
+
+	"kbrepair/internal/inquiry"
+	"kbrepair/internal/synth"
+)
+
+// TestFig3WorkloadShape pins the generator to the paper's Figure 3
+// companion table: at 1005 atoms the conflict count must stay in the same
+// range the paper reports (56 at 5% … 496 at 30%) and the conflicts must
+// overlap (avg scope ≈ 10–35). A regression here usually means accidental
+// joins crept back into violation planting.
+func TestFig3WorkloadShape(t *testing.T) {
+	cases := []struct {
+		ratio      float64
+		minC, maxC int
+		minScope   float64
+	}{
+		{0.05, 20, 150, 1},
+		{0.20, 120, 700, 5},
+		{0.30, 180, 1000, 5},
+	}
+	for _, c := range cases {
+		g, err := synth.Generate(synth.Params{
+			Seed: 1, NumFacts: 1005, InconsistencyRatio: c.ratio, NumCDDs: 15,
+			JoinVarRatio: 0.25,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Info.TotalConflicts < c.minC || g.Info.TotalConflicts > c.maxC {
+			t.Errorf("ratio %.2f: conflicts = %d, want [%d, %d]",
+				c.ratio, g.Info.TotalConflicts, c.minC, c.maxC)
+		}
+		if g.Info.AvgScope < c.minScope {
+			t.Errorf("ratio %.2f: scope = %.1f, want ≥ %.1f",
+				c.ratio, g.Info.AvgScope, c.minScope)
+		}
+	}
+}
+
+// TestFig3CellPerformance is a perf canary: one full Figure 3 cell (all
+// four strategies at 1005 atoms, 5% ratio) must finish in single-digit
+// seconds; the experiment harness becomes unusable otherwise.
+func TestFig3CellPerformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf canary")
+	}
+	g, err := synth.Generate(synth.Params{
+		Seed: 1, NumFacts: 1005, InconsistencyRatio: 0.05, NumCDDs: 15, JoinVarRatio: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	for _, strat := range inquiry.AllStrategies() {
+		clone := g.KB.Clone()
+		e := inquiry.New(clone, strat, inquiry.NewSimulatedUser(5), 5, inquiry.Options{})
+		res, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", strat.Name(), err)
+		}
+		if !res.Consistent || res.Questions == 0 {
+			t.Fatalf("%s: bad run", strat.Name())
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("fig3 cell took %s; expected seconds", elapsed)
+	}
+}

@@ -1,0 +1,247 @@
+// Package homo implements homomorphism search from conjunctions of atoms to
+// an indexed fact store — the evaluation engine behind CDD-body checks, TGD
+// applicability and conjunctive query answering throughout kbrepair.
+//
+// A homomorphism h from a conjunction B to a set of facts F maps every
+// variable of B to a ground term of F such that h(B) ⊆ F; constants and
+// labeled nulls in B must match facts exactly. The search is a backtracking
+// join that at every step expands the not-yet-matched atom with the fewest
+// index candidates under the current partial substitution.
+package homo
+
+import (
+	"kbrepair/internal/logic"
+	"kbrepair/internal/store"
+)
+
+// Match is one homomorphism: the variable bindings plus, for each body atom
+// (in body order), the id of the fact it was mapped onto.
+type Match struct {
+	Subst logic.Subst
+	Facts []store.FactID
+}
+
+// Clone returns a deep copy of the match.
+func (m Match) Clone() Match {
+	return Match{
+		Subst: m.Subst.Clone(),
+		Facts: append([]store.FactID(nil), m.Facts...),
+	}
+}
+
+// Exists reports whether at least one homomorphism from body to s exists
+// (boolean conjunctive query evaluation).
+func Exists(s *store.Store, body []logic.Atom) bool {
+	found := false
+	ForEach(s, body, func(Match) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// ExistsSeeded reports whether a homomorphism extending seed exists.
+func ExistsSeeded(s *store.Store, body []logic.Atom, seed logic.Subst) bool {
+	found := false
+	ForEachSeeded(s, body, seed, func(Match) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// FindFirst returns one homomorphism from body to s, if any.
+func FindFirst(s *store.Store, body []logic.Atom) (Match, bool) {
+	var out Match
+	found := false
+	ForEach(s, body, func(m Match) bool {
+		out = m.Clone()
+		found = true
+		return false
+	})
+	return out, found
+}
+
+// FindAll returns every homomorphism from body to s. Distinct assignments of
+// body atoms to (possibly duplicate) facts are returned as distinct matches
+// even when the variable bindings coincide; callers that need homomorphism-
+// level identity should deduplicate on Subst.Key.
+func FindAll(s *store.Store, body []logic.Atom) []Match {
+	var out []Match
+	ForEach(s, body, func(m Match) bool {
+		out = append(out, m.Clone())
+		return true
+	})
+	return out
+}
+
+// ForEach enumerates homomorphisms from body to s, invoking fn for each.
+// The Match passed to fn is only valid during the call; clone it to retain
+// it. Returning false from fn stops the enumeration.
+func ForEach(s *store.Store, body []logic.Atom, fn func(Match) bool) {
+	ForEachSeeded(s, body, nil, fn)
+}
+
+// ForEachSeeded is ForEach with an initial partial substitution: only
+// homomorphisms extending seed are enumerated. seed may be nil.
+func ForEachSeeded(s *store.Store, body []logic.Atom, seed logic.Subst, fn func(Match) bool) {
+	if len(body) == 0 {
+		sub := seed
+		if sub == nil {
+			sub = logic.NewSubst()
+		}
+		fn(Match{Subst: sub, Facts: nil})
+		return
+	}
+	st := &search{
+		store: s,
+		body:  body,
+		sub:   logic.NewSubst(),
+		facts: make([]store.FactID, len(body)),
+		done:  make([]bool, len(body)),
+		fn:    fn,
+	}
+	for v, t := range seed {
+		st.sub[v] = t
+	}
+	st.run(0)
+}
+
+type search struct {
+	store   *store.Store
+	body    []logic.Atom
+	sub     logic.Subst
+	facts   []store.FactID
+	done    []bool
+	fn      func(Match) bool
+	stopped bool
+}
+
+// run matches the remaining len(body)-depth atoms; returns after exploring
+// the subtree (st.stopped set when fn asked to stop).
+func (st *search) run(depth int) {
+	if st.stopped {
+		return
+	}
+	if depth == len(st.body) {
+		if !st.fn(Match{Subst: st.sub, Facts: st.facts}) {
+			st.stopped = true
+		}
+		return
+	}
+	idx, cands := st.pickAtom()
+	st.done[idx] = true
+	pattern := st.body[idx]
+	for _, fid := range cands {
+		fact := st.store.FactRef(fid)
+		bound, ok := st.bind(pattern, fact)
+		if ok {
+			st.facts[idx] = fid
+			st.run(depth + 1)
+		}
+		// Undo bindings introduced by this atom.
+		for _, v := range bound {
+			delete(st.sub, v)
+		}
+		if st.stopped {
+			break
+		}
+	}
+	st.done[idx] = false
+}
+
+// pickAtom selects the unmatched atom with the fewest candidate facts under
+// the current substitution and returns its index along with the candidates.
+func (st *search) pickAtom() (int, []store.FactID) {
+	bestIdx := -1
+	var bestCands []store.FactID
+	bestCount := int(^uint(0) >> 1)
+	for i, a := range st.body {
+		if st.done[i] {
+			continue
+		}
+		cands := st.candidates(a)
+		if len(cands) < bestCount {
+			bestIdx, bestCands, bestCount = i, cands, len(cands)
+			if bestCount == 0 {
+				break
+			}
+		}
+	}
+	return bestIdx, bestCands
+}
+
+// candidates returns the most selective index list for the pattern under the
+// current substitution. The returned slice belongs to the store's index and
+// must not be mutated.
+func (st *search) candidates(a logic.Atom) []store.FactID {
+	best := st.store.CandidatesByPred(a.Pred)
+	for i, t := range a.Args {
+		g := st.sub.Lookup(t)
+		if !g.IsGround() {
+			continue
+		}
+		c := st.store.Candidates(a.Pred, i, g)
+		if len(c) < len(best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// bind attempts to extend the substitution so pattern maps onto fact. It
+// returns the variables newly bound (for undo) and whether it succeeded.
+// On failure the newly introduced bindings are already removed.
+func (st *search) bind(pattern, fact logic.Atom) ([]logic.Term, bool) {
+	if pattern.Pred != fact.Pred || len(pattern.Args) != len(fact.Args) {
+		return nil, false
+	}
+	var bound []logic.Term
+	for i, t := range pattern.Args {
+		ft := fact.Args[i]
+		if t.IsVar() {
+			if cur, ok := st.sub[t]; ok {
+				if cur != ft {
+					for _, v := range bound {
+						delete(st.sub, v)
+					}
+					return nil, false
+				}
+				continue
+			}
+			st.sub[t] = ft
+			bound = append(bound, t)
+			continue
+		}
+		if t != ft {
+			for _, v := range bound {
+				delete(st.sub, v)
+			}
+			return nil, false
+		}
+	}
+	return bound, true
+}
+
+// Answers evaluates a conjunctive query with distinguished variables answJ
+// over s and returns the distinct answer tuples, in enumeration order. This
+// is the paper's Q(F, ΣT) restricted to a plain store; query answering under
+// TGDs composes this with the chase (see internal/chase.Answers).
+func Answers(s *store.Store, body []logic.Atom, answVars []logic.Term) [][]logic.Term {
+	var out [][]logic.Term
+	seen := make(map[string]bool)
+	ForEach(s, body, func(m Match) bool {
+		tuple := make([]logic.Term, len(answVars))
+		key := ""
+		for i, v := range answVars {
+			tuple[i] = m.Subst.Lookup(v)
+			key += string(rune('0'+tuple[i].Kind)) + tuple[i].Name + "\x00"
+		}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, tuple)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,325 @@
+package homo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kbrepair/internal/logic"
+	"kbrepair/internal/store"
+)
+
+func kbFig1(t testing.TB) *store.Store {
+	t.Helper()
+	return store.MustFromAtoms([]logic.Atom{
+		logic.NewAtom("prescribed", logic.C("Aspirin"), logic.C("John")),
+		logic.NewAtom("hasAllergy", logic.C("John"), logic.C("Aspirin")),
+		logic.NewAtom("hasAllergy", logic.C("Mike"), logic.C("Penicillin")),
+	})
+}
+
+func TestExistsCDDBody(t *testing.T) {
+	s := kbFig1(t)
+	// prescribed(X, Y), hasAllergy(Y, X) — the running example's CDD body.
+	body := []logic.Atom{
+		logic.NewAtom("prescribed", logic.V("X"), logic.V("Y")),
+		logic.NewAtom("hasAllergy", logic.V("Y"), logic.V("X")),
+	}
+	if !Exists(s, body) {
+		t.Fatal("violated CDD body not found")
+	}
+	m, ok := FindFirst(s, body)
+	if !ok {
+		t.Fatal("FindFirst failed")
+	}
+	if m.Subst.Lookup(logic.V("X")) != logic.C("Aspirin") || m.Subst.Lookup(logic.V("Y")) != logic.C("John") {
+		t.Errorf("unexpected hom %v", m.Subst)
+	}
+	if len(m.Facts) != 2 {
+		t.Errorf("Facts = %v", m.Facts)
+	}
+}
+
+func TestExistsFalseAfterRepair(t *testing.T) {
+	s := kbFig1(t)
+	// Repair F3 of Example 1.3: hasAllergy(John, X1).
+	s.MustSetValue(store.Position{Fact: 1, Arg: 1}, logic.N("x1"))
+	body := []logic.Atom{
+		logic.NewAtom("prescribed", logic.V("X"), logic.V("Y")),
+		logic.NewAtom("hasAllergy", logic.V("Y"), logic.V("X")),
+	}
+	if Exists(s, body) {
+		t.Error("CDD body still matches after repair")
+	}
+}
+
+func TestFindAllEnumerates(t *testing.T) {
+	s := store.MustFromAtoms([]logic.Atom{
+		logic.NewAtom("p", logic.C("a"), logic.C("b")),
+		logic.NewAtom("p", logic.C("a"), logic.C("c")),
+		logic.NewAtom("q", logic.C("b")),
+		logic.NewAtom("q", logic.C("c")),
+	})
+	body := []logic.Atom{
+		logic.NewAtom("p", logic.V("X"), logic.V("Y")),
+		logic.NewAtom("q", logic.V("Y")),
+	}
+	ms := FindAll(s, body)
+	if len(ms) != 2 {
+		t.Fatalf("FindAll returned %d matches, want 2", len(ms))
+	}
+	seen := make(map[string]bool)
+	for _, m := range ms {
+		seen[m.Subst.Lookup(logic.V("Y")).Name] = true
+	}
+	if !seen["b"] || !seen["c"] {
+		t.Errorf("answers = %v", seen)
+	}
+}
+
+func TestRepeatedVariable(t *testing.T) {
+	s := store.MustFromAtoms([]logic.Atom{
+		logic.NewAtom("p", logic.C("a"), logic.C("a")),
+		logic.NewAtom("p", logic.C("a"), logic.C("b")),
+	})
+	body := []logic.Atom{logic.NewAtom("p", logic.V("X"), logic.V("X"))}
+	ms := FindAll(s, body)
+	if len(ms) != 1 {
+		t.Fatalf("repeated variable matches = %d, want 1", len(ms))
+	}
+	if ms[0].Subst.Lookup(logic.V("X")) != logic.C("a") {
+		t.Errorf("binding = %v", ms[0].Subst)
+	}
+}
+
+func TestConstantsInPattern(t *testing.T) {
+	s := kbFig1(t)
+	body := []logic.Atom{logic.NewAtom("hasAllergy", logic.C("Mike"), logic.V("Z"))}
+	ms := FindAll(s, body)
+	if len(ms) != 1 || ms[0].Subst.Lookup(logic.V("Z")) != logic.C("Penicillin") {
+		t.Errorf("matches = %v", ms)
+	}
+	if Exists(s, []logic.Atom{logic.NewAtom("hasAllergy", logic.C("Nobody"), logic.V("Z"))}) {
+		t.Error("matched absent constant")
+	}
+}
+
+func TestNullsMatchExactly(t *testing.T) {
+	s := store.MustFromAtoms([]logic.Atom{
+		logic.NewAtom("p", logic.N("n1")),
+		logic.NewAtom("p", logic.C("n1")),
+	})
+	// A null pattern term matches only the null fact.
+	ms := FindAll(s, []logic.Atom{logic.NewAtom("p", logic.N("n1"))})
+	if len(ms) != 1 {
+		t.Fatalf("null pattern matched %d facts", len(ms))
+	}
+	// Variables bind to nulls too.
+	ms = FindAll(s, []logic.Atom{logic.NewAtom("p", logic.V("X"))})
+	if len(ms) != 2 {
+		t.Fatalf("variable matched %d facts, want 2", len(ms))
+	}
+	// Two distinct nulls never unify.
+	if Exists(s, []logic.Atom{logic.NewAtom("p", logic.N("n2"))}) {
+		t.Error("distinct null matched")
+	}
+}
+
+func TestForEachSeeded(t *testing.T) {
+	s := kbFig1(t)
+	body := []logic.Atom{
+		logic.NewAtom("prescribed", logic.V("X"), logic.V("Y")),
+		logic.NewAtom("hasAllergy", logic.V("Y"), logic.V("X")),
+	}
+	// Seeding Y=Mike prevents any match.
+	n := 0
+	ForEachSeeded(s, body, logic.Subst{logic.V("Y"): logic.C("Mike")}, func(Match) bool {
+		n++
+		return true
+	})
+	if n != 0 {
+		t.Errorf("seeded search found %d matches, want 0", n)
+	}
+	// Seeding Y=John finds the single one.
+	ForEachSeeded(s, body, logic.Subst{logic.V("Y"): logic.C("John")}, func(m Match) bool {
+		n++
+		if m.Subst.Lookup(logic.V("X")) != logic.C("Aspirin") {
+			t.Errorf("bad match %v", m.Subst)
+		}
+		return true
+	})
+	if n != 1 {
+		t.Errorf("seeded search found %d matches, want 1", n)
+	}
+}
+
+func TestEmptyBody(t *testing.T) {
+	s := kbFig1(t)
+	if !Exists(s, nil) {
+		t.Error("empty conjunction should trivially hold")
+	}
+	ms := FindAll(s, nil)
+	if len(ms) != 1 {
+		t.Errorf("empty body matches = %d, want 1", len(ms))
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	s := store.New()
+	for i := 0; i < 50; i++ {
+		s.MustAdd(logic.NewAtom("p", logic.C("a")))
+	}
+	n := 0
+	ForEach(s, []logic.Atom{logic.NewAtom("p", logic.V("X"))}, func(Match) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("enumeration did not stop: %d", n)
+	}
+}
+
+func TestDuplicateFactsYieldDuplicateMatches(t *testing.T) {
+	s := store.MustFromAtoms([]logic.Atom{
+		logic.NewAtom("p", logic.C("a")),
+		logic.NewAtom("p", logic.C("a")),
+	})
+	ms := FindAll(s, []logic.Atom{logic.NewAtom("p", logic.V("X"))})
+	if len(ms) != 2 {
+		t.Errorf("matches = %d, want 2 (per fact occurrence)", len(ms))
+	}
+	if ms[0].Facts[0] == ms[1].Facts[0] {
+		t.Error("matches point at the same fact")
+	}
+}
+
+func TestAnswers(t *testing.T) {
+	s := store.MustFromAtoms([]logic.Atom{
+		logic.NewAtom("p", logic.C("a"), logic.C("b")),
+		logic.NewAtom("p", logic.C("c"), logic.C("b")),
+		logic.NewAtom("p", logic.C("a"), logic.C("d")),
+	})
+	body := []logic.Atom{logic.NewAtom("p", logic.V("X"), logic.V("Y"))}
+	ans := Answers(s, body, []logic.Term{logic.V("Y")})
+	if len(ans) != 2 {
+		t.Fatalf("answers = %v, want 2 distinct", ans)
+	}
+}
+
+// Property: every match returned is a genuine homomorphism (image contained
+// in the store), and the boolean evaluator agrees with the enumerator.
+func TestMatchesAreHomomorphisms(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := store.New()
+		consts := []logic.Term{logic.C("a"), logic.C("b"), logic.C("c")}
+		for i := 0; i < 15; i++ {
+			s.MustAdd(logic.NewAtom(
+				[]string{"p", "q"}[r.Intn(2)],
+				consts[r.Intn(3)], consts[r.Intn(3)],
+			))
+		}
+		vars := []logic.Term{logic.V("X"), logic.V("Y"), logic.V("Z")}
+		body := make([]logic.Atom, 1+r.Intn(3))
+		for i := range body {
+			arg := func() logic.Term {
+				if r.Intn(3) == 0 {
+					return consts[r.Intn(3)]
+				}
+				return vars[r.Intn(3)]
+			}
+			body[i] = logic.NewAtom([]string{"p", "q"}[r.Intn(2)], arg(), arg())
+		}
+		ms := FindAll(s, body)
+		for _, m := range ms {
+			for i, a := range body {
+				img := m.Subst.Apply(a)
+				if !img.IsGround() {
+					return false
+				}
+				if !s.Contains(img) {
+					return false
+				}
+				if !s.FactRef(m.Facts[i]).Equal(img) {
+					return false
+				}
+			}
+		}
+		return Exists(s, body) == (len(ms) > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the index-driven search finds exactly the matches a brute-force
+// cross-product search finds (compared as sets of substitution keys).
+func TestAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := store.New()
+		consts := []logic.Term{logic.C("a"), logic.C("b")}
+		for i := 0; i < 8; i++ {
+			s.MustAdd(logic.NewAtom("p", consts[r.Intn(2)], consts[r.Intn(2)]))
+		}
+		vars := []logic.Term{logic.V("X"), logic.V("Y")}
+		body := make([]logic.Atom, 1+r.Intn(2))
+		for i := range body {
+			arg := func() logic.Term {
+				if r.Intn(3) == 0 {
+					return consts[r.Intn(2)]
+				}
+				return vars[r.Intn(2)]
+			}
+			body[i] = logic.NewAtom("p", arg(), arg())
+		}
+		got := make(map[string]bool)
+		for _, m := range FindAll(s, body) {
+			got[m.Subst.Key()] = true
+		}
+		want := make(map[string]bool)
+		var rec func(i int, sub logic.Subst)
+		rec = func(i int, sub logic.Subst) {
+			if i == len(body) {
+				want[sub.Key()] = true
+				return
+			}
+			for _, fid := range s.IDs() {
+				fact := s.FactRef(fid)
+				if fact.Pred != body[i].Pred {
+					continue
+				}
+				s2 := sub.Clone()
+				ok := true
+				for j, t := range body[i].Args {
+					g := s2.Lookup(t)
+					switch {
+					case g.IsVar():
+						s2[t] = fact.Args[j]
+					case g != fact.Args[j]:
+						ok = false
+					}
+					if !ok {
+						break
+					}
+				}
+				if ok {
+					rec(i+1, s2)
+				}
+			}
+		}
+		rec(0, logic.NewSubst())
+		if len(got) != len(want) {
+			return false
+		}
+		for k := range got {
+			if !want[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,388 @@
+package inquiry
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"kbrepair/internal/conflict"
+	"kbrepair/internal/core"
+)
+
+// Options tune an inquiry run.
+type Options struct {
+	// MaxQuestions caps the dialogue length as a safety net. 0 means
+	// 4×|pos(F)| (the theoretical maximum is |pos(F)|; the slack absorbs
+	// propagation releases).
+	MaxQuestions int
+	// MaxValuesPerPosition caps the number of candidate values offered per
+	// position (0 = unlimited, the paper's semantics). The fresh
+	// existential variable is always kept.
+	MaxValuesPerPosition int
+	// TrackConflictSeries records the total number of (chase-level)
+	// conflicts after every answer — the convergence series of Figure 4.
+	// It costs one chase per question.
+	TrackConflictSeries bool
+	// DisablePiRepOpt turns off the Π-RepOpt fast path (ablation).
+	DisablePiRepOpt bool
+	// DisableIncremental recomputes naive conflicts from scratch after
+	// each answer instead of using UpdateConflicts (ablation).
+	DisableIncremental bool
+}
+
+// Round records one question/answer exchange.
+type Round struct {
+	// Phase is 1 (naive conflicts) or 2 (chase-discovered conflicts).
+	Phase int
+	// QuestionSize is the number of fixes offered.
+	QuestionSize int
+	// Answer is the fix the user chose.
+	Answer core.Fix
+	// ConflictsBefore is the size of the conflict set the question was
+	// drawn from (naive conflicts in phase 1, chase conflicts in phase 2).
+	ConflictsBefore int
+	// SeriesConflicts is the total conflict count after the answer, when
+	// Options.TrackConflictSeries is set (-1 otherwise).
+	SeriesConflicts int
+	// Delay is the time spent computing this question — the paper's
+	// delay-time metric (conflict recomputation + question generation).
+	Delay time.Duration
+}
+
+// Result summarizes a finished inquiry.
+type Result struct {
+	// Strategy is the name of the strategy used.
+	Strategy string
+	// Questions is the number of questions asked.
+	Questions int
+	// Rounds holds the per-question log.
+	Rounds []Round
+	// InitialNaive is |allconflicts_naive(K)| at the start.
+	InitialNaive int
+	// InitialTotal is |allconflicts(K)| (chase-level) at the start.
+	InitialTotal int
+	// Consistent reports the final consistency check.
+	Consistent bool
+	// Duration is the wall-clock time of the whole run.
+	Duration time.Duration
+	// AppliedFixes are the user-chosen fixes, in order.
+	AppliedFixes core.FixSet
+	// FastHits and FullChecks report how the Π-repairability checks split
+	// between the Π-RepOpt fast path and full Algorithm 1 runs.
+	FastHits, FullChecks int
+}
+
+// AvgDelay returns the mean question-generation delay.
+func (r *Result) AvgDelay() time.Duration {
+	if len(r.Rounds) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, rd := range r.Rounds {
+		total += rd.Delay
+	}
+	return total / time.Duration(len(r.Rounds))
+}
+
+// Delays returns the per-question delays.
+func (r *Result) Delays() []time.Duration {
+	out := make([]time.Duration, len(r.Rounds))
+	for i, rd := range r.Rounds {
+		out[i] = rd.Delay
+	}
+	return out
+}
+
+// ConflictSeries returns the conflict counts after each question (requires
+// Options.TrackConflictSeries).
+func (r *Result) ConflictSeries() []int {
+	out := make([]int, len(r.Rounds))
+	for i, rd := range r.Rounds {
+		out[i] = rd.SeriesConflicts
+	}
+	return out
+}
+
+// Engine drives an inquiry dialogue over a knowledge base. The engine
+// mutates the KB's fact store in place; clone the KB first to preserve the
+// original.
+type Engine struct {
+	KB       *core.KB
+	Strategy Strategy
+	User     User
+	Rng      *rand.Rand
+	// Pi is the set of immutable positions Π; it grows as questions are
+	// answered (and through opti-prop propagation).
+	Pi   core.Pi
+	Opts Options
+
+	pc         *core.PiChecker
+	propagated core.Pi
+}
+
+// New builds an engine. A nil strategy defaults to Random; a nil user is an
+// error at Run time.
+func New(kb *core.KB, strat Strategy, user User, seed int64, opts Options) *Engine {
+	if strat == nil {
+		strat = Random{}
+	}
+	e := &Engine{
+		KB:         kb,
+		Strategy:   strat,
+		User:       user,
+		Rng:        rand.New(rand.NewSource(seed)),
+		Pi:         core.NewPi(),
+		Opts:       opts,
+		propagated: core.NewPi(),
+	}
+	e.pc = core.NewPiChecker(kb)
+	e.pc.Optimized = !opts.DisablePiRepOpt
+	return e
+}
+
+// propagate pins a position as immutable on behalf of opti-prop; the pin is
+// recorded so it can be released if it ever blocks question generation.
+func (e *Engine) propagate(p core.Position) {
+	e.Pi.Add(p)
+	e.propagated.Add(p)
+}
+
+// releasePropagated undoes all propagation pins.
+func (e *Engine) releasePropagated() int {
+	n := len(e.propagated)
+	for p := range e.propagated {
+		delete(e.Pi, p)
+	}
+	e.propagated = core.NewPi()
+	return n
+}
+
+func (e *Engine) maxQuestions() int {
+	if e.Opts.MaxQuestions > 0 {
+		return e.Opts.MaxQuestions
+	}
+	n := 4 * e.KB.Facts.NumPositions()
+	if n < 64 {
+		n = 64
+	}
+	return n
+}
+
+// ErrUnanswerable is returned when no sound question can be generated for a
+// live conflict — which Lemma 4.3 rules out while the Π-repairability
+// invariant holds, so seeing it indicates the invariant was broken (e.g. by
+// external mutation of the KB mid-inquiry).
+var ErrUnanswerable = errors.New("inquiry: no sound question for a live conflict")
+
+// ask generates a sound question for the conflict (via the strategy),
+// presents it to the user, applies the chosen fix and updates Π. It returns
+// the offered positions and the round record.
+func (e *Engine) ask(cs []*conflict.Conflict, x *conflict.Conflict, phase int) ([]core.Position, Round, error) {
+	t0 := time.Now()
+	positions := e.Strategy.Positions(e, cs, x)
+	fixes, err := SoundQuestion(e.KB, e.pc, e.Pi, positions, e.Opts.MaxValuesPerPosition)
+	if err != nil {
+		return nil, Round{}, err
+	}
+	if len(fixes) == 0 {
+		// Propagated pins may have starved the question; release and retry
+		// on the conflict's full position set.
+		if e.releasePropagated() > 0 {
+			positions = x.Positions(e.KB.Facts)
+			fixes, err = SoundQuestion(e.KB, e.pc, e.Pi, positions, e.Opts.MaxValuesPerPosition)
+			if err != nil {
+				return nil, Round{}, err
+			}
+		}
+	}
+	if len(fixes) == 0 {
+		return nil, Round{}, fmt.Errorf("%w: conflict %s", ErrUnanswerable, x)
+	}
+	q := Question{Conflict: x, Fixes: fixes, Phase: phase}
+	delay := time.Since(t0)
+	f, err := e.User.Choose(e.KB, q)
+	if err != nil {
+		return nil, Round{}, fmt.Errorf("user failed on question with %d fixes: %w", len(fixes), err)
+	}
+	if !q.Contains(f) {
+		return nil, Round{}, fmt.Errorf("user chose %s, which is not in the question", f)
+	}
+	if _, err := e.KB.Facts.SetValue(f.Pos, f.Value); err != nil {
+		return nil, Round{}, err
+	}
+	e.Pi.Add(f.Pos)
+	return positions, Round{
+		Phase:           phase,
+		QuestionSize:    len(fixes),
+		Answer:          f,
+		ConflictsBefore: len(cs),
+		SeriesConflicts: -1,
+		Delay:           delay,
+	}, nil
+}
+
+// Run executes the two-phase strategy inquiry (Algorithm 4): phase one
+// resolves naive conflicts with incremental maintenance; phase two resolves
+// conflicts discovered through the chase until the KB is consistent. It
+// returns the per-question log and summary metrics.
+func (e *Engine) Run() (*Result, error) {
+	if e.User == nil {
+		return nil, errors.New("inquiry: nil user")
+	}
+	start := time.Now()
+	res := &Result{Strategy: e.Strategy.Name(), InitialTotal: -1}
+
+	tracker := conflict.NewTracker(e.KB.Facts, e.KB.CDDs)
+	res.InitialNaive = tracker.Len()
+	if initial, _, err := e.KB.AllConflicts(); err == nil {
+		res.InitialTotal = len(initial)
+	} else {
+		return nil, err
+	}
+
+	record := func(rd Round, f core.Fix) error {
+		if e.Opts.TrackConflictSeries {
+			cs, _, err := e.KB.AllConflicts()
+			if err != nil {
+				return err
+			}
+			rd.SeriesConflicts = len(cs)
+		}
+		res.Rounds = append(res.Rounds, rd)
+		res.AppliedFixes = append(res.AppliedFixes, f)
+		if len(res.Rounds) > e.maxQuestions() {
+			return fmt.Errorf("inquiry: exceeded %d questions", e.maxQuestions())
+		}
+		return nil
+	}
+
+	// Phase one: naive conflicts.
+	for tracker.Len() > 0 {
+		cs := tracker.Conflicts()
+		x := e.Strategy.PickConflict(e, cs)
+		offered, rd, err := e.ask(cs, x, 1)
+		if err != nil {
+			return res, err
+		}
+		if e.Opts.DisableIncremental {
+			tracker = conflict.NewTracker(e.KB.Facts, e.KB.CDDs)
+		} else {
+			tracker.Update(rd.Answer.Pos.Fact)
+		}
+		e.Strategy.AfterAnswer(e, tracker.Conflicts(), x, offered, rd.Answer)
+		if err := record(rd, rd.Answer); err != nil {
+			return res, err
+		}
+	}
+
+	// Phase two: conflicts that only appear through the chase. Without
+	// TGDs the naive conflicts were all conflicts and this loop exits
+	// immediately after one (cheap) check.
+	for {
+		cs, _, err := e.KB.AllConflicts()
+		if err != nil {
+			return res, err
+		}
+		if len(cs) == 0 {
+			break
+		}
+		x := e.Strategy.PickConflict(e, cs)
+		offered, rd, err := e.ask(cs, x, 2)
+		if err != nil {
+			return res, err
+		}
+		// Recompute for AfterAnswer's "involved in other conflicts" test.
+		after, _, err := e.KB.AllConflicts()
+		if err != nil {
+			return res, err
+		}
+		e.Strategy.AfterAnswer(e, after, x, offered, rd.Answer)
+		if err := record(rd, rd.Answer); err != nil {
+			return res, err
+		}
+	}
+
+	ok, err := e.KB.IsConsistent()
+	if err != nil {
+		return res, err
+	}
+	res.Consistent = ok
+	res.Questions = len(res.Rounds)
+	res.Duration = time.Since(start)
+	res.FastHits, res.FullChecks = e.pc.FastHits, e.pc.FullChecks
+	return res, nil
+}
+
+// RunBasic executes the plain inquiry of Algorithm 3: recompute
+// allconflicts(K) (chase-level) each round, pick a conflict, ask a sound
+// question over all of its positions, apply the answer, repeat. It ignores
+// the engine's strategy except for conflict picking randomness; questions
+// always cover the full position set of the conflict, which is what the
+// oracle soundness result (Prop. 4.8) is stated for.
+func (e *Engine) RunBasic() (*Result, error) {
+	if e.User == nil {
+		return nil, errors.New("inquiry: nil user")
+	}
+	start := time.Now()
+	res := &Result{Strategy: "basic"}
+	res.InitialNaive = len(conflict.AllNaive(e.KB.Facts, e.KB.CDDs))
+	if initial, _, err := e.KB.AllConflicts(); err == nil {
+		res.InitialTotal = len(initial)
+	} else {
+		return nil, err
+	}
+	for {
+		cs, _, err := e.KB.AllConflicts()
+		if err != nil {
+			return res, err
+		}
+		if len(cs) == 0 {
+			break
+		}
+		t0 := time.Now()
+		x := pickRandom(cs, e.Rng)
+		positions := x.Positions(e.KB.Facts)
+		fixes, err := SoundQuestion(e.KB, e.pc, e.Pi, positions, e.Opts.MaxValuesPerPosition)
+		if err != nil {
+			return res, err
+		}
+		if len(fixes) == 0 {
+			return res, fmt.Errorf("%w: conflict %s", ErrUnanswerable, x)
+		}
+		q := Question{Conflict: x, Fixes: fixes, Phase: 1}
+		delay := time.Since(t0)
+		f, err := e.User.Choose(e.KB, q)
+		if err != nil {
+			return res, err
+		}
+		if !q.Contains(f) {
+			return res, fmt.Errorf("user chose %s, which is not in the question", f)
+		}
+		if _, err := e.KB.Facts.SetValue(f.Pos, f.Value); err != nil {
+			return res, err
+		}
+		e.Pi.Add(f.Pos)
+		res.Rounds = append(res.Rounds, Round{
+			Phase:           1,
+			QuestionSize:    len(fixes),
+			Answer:          f,
+			ConflictsBefore: len(cs),
+			SeriesConflicts: -1,
+			Delay:           delay,
+		})
+		res.AppliedFixes = append(res.AppliedFixes, f)
+		if len(res.Rounds) > e.maxQuestions() {
+			return res, fmt.Errorf("inquiry: exceeded %d questions", e.maxQuestions())
+		}
+	}
+	ok, err := e.KB.IsConsistent()
+	if err != nil {
+		return res, err
+	}
+	res.Consistent = ok
+	res.Questions = len(res.Rounds)
+	res.Duration = time.Since(start)
+	res.FastHits, res.FullChecks = e.pc.FastHits, e.pc.FullChecks
+	return res, nil
+}

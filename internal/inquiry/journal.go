@@ -1,0 +1,171 @@
+package inquiry
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"kbrepair/internal/core"
+	"kbrepair/internal/logic"
+	"kbrepair/internal/store"
+)
+
+// Journal records an inquiry session — every question with its offered
+// fixes and the user's choice — so a repair can be audited or replayed
+// verbatim on a fresh copy of the knowledge base. Sessions serialize to
+// JSON.
+type Journal struct {
+	Strategy string         `json:"strategy"`
+	Entries  []JournalEntry `json:"entries"`
+}
+
+// JournalEntry is one question/answer exchange.
+type JournalEntry struct {
+	Phase int `json:"phase"`
+	// Offered are the fixes of the question, in order.
+	Offered []JournalFix `json:"offered"`
+	// Chosen is the index into Offered of the user's answer.
+	Chosen int `json:"chosen"`
+}
+
+// JournalFix is the JSON form of a fix.
+type JournalFix struct {
+	Fact  int    `json:"fact"`
+	Arg   int    `json:"arg"`
+	Kind  string `json:"kind"` // "const" or "null"
+	Value string `json:"value"`
+}
+
+func toJournalFix(f core.Fix) JournalFix {
+	kind := "const"
+	if f.Value.IsNull() {
+		kind = "null"
+	}
+	return JournalFix{
+		Fact:  int(f.Pos.Fact),
+		Arg:   f.Pos.Arg,
+		Kind:  kind,
+		Value: f.Value.Name,
+	}
+}
+
+// Fix converts the entry back to a core fix.
+func (jf JournalFix) Fix() (core.Fix, error) {
+	var v logic.Term
+	switch jf.Kind {
+	case "const":
+		v = logic.C(jf.Value)
+	case "null":
+		v = logic.N(jf.Value)
+	default:
+		return core.Fix{}, fmt.Errorf("journal: unknown term kind %q", jf.Kind)
+	}
+	return core.Fix{
+		Pos:   core.Position{Fact: store.FactID(jf.Fact), Arg: jf.Arg},
+		Value: v,
+	}, nil
+}
+
+// Marshal renders the journal as indented JSON.
+func (j *Journal) Marshal() ([]byte, error) {
+	return json.MarshalIndent(j, "", "  ")
+}
+
+// UnmarshalJournal parses a journal from JSON.
+func UnmarshalJournal(data []byte) (*Journal, error) {
+	var j Journal
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &j, nil
+}
+
+// SaveJournal writes the journal to a file.
+func SaveJournal(j *Journal, path string) error {
+	data, err := j.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadJournal reads a journal from a file.
+func LoadJournal(path string) (*Journal, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalJournal(data)
+}
+
+// RecordingUser wraps any user and appends every exchange to a journal.
+type RecordingUser struct {
+	User    User
+	Journal *Journal
+}
+
+// NewRecordingUser wraps a user with a fresh journal.
+func NewRecordingUser(u User, strategy string) *RecordingUser {
+	return &RecordingUser{User: u, Journal: &Journal{Strategy: strategy}}
+}
+
+// Choose implements User.
+func (r *RecordingUser) Choose(kb *core.KB, q Question) (core.Fix, error) {
+	f, err := r.User.Choose(kb, q)
+	if err != nil {
+		return f, err
+	}
+	entry := JournalEntry{Phase: q.Phase, Chosen: -1}
+	for i, offered := range q.Fixes {
+		entry.Offered = append(entry.Offered, toJournalFix(offered))
+		if offered == f {
+			entry.Chosen = i
+		}
+	}
+	if entry.Chosen < 0 {
+		return f, fmt.Errorf("journal: user chose a fix outside the question")
+	}
+	r.Journal.Entries = append(r.Journal.Entries, entry)
+	return f, nil
+}
+
+// ReplayUser answers questions from a recorded journal. The replay is
+// strict by default: each question must offer the recorded chosen fix
+// (fresh-null fixes are matched by position, since null labels differ
+// between sessions).
+type ReplayUser struct {
+	Journal *Journal
+	next    int
+}
+
+// NewReplayUser builds a replaying user.
+func NewReplayUser(j *Journal) *ReplayUser { return &ReplayUser{Journal: j} }
+
+// Remaining returns the number of unconsumed entries.
+func (r *ReplayUser) Remaining() int { return len(r.Journal.Entries) - r.next }
+
+// Choose implements User.
+func (r *ReplayUser) Choose(_ *core.KB, q Question) (core.Fix, error) {
+	if r.next >= len(r.Journal.Entries) {
+		return core.Fix{}, fmt.Errorf("journal: replay exhausted after %d entries", r.next)
+	}
+	entry := r.Journal.Entries[r.next]
+	r.next++
+	if entry.Chosen < 0 || entry.Chosen >= len(entry.Offered) {
+		return core.Fix{}, fmt.Errorf("journal: entry %d has invalid chosen index", r.next-1)
+	}
+	want, err := entry.Offered[entry.Chosen].Fix()
+	if err != nil {
+		return core.Fix{}, err
+	}
+	for _, f := range q.Fixes {
+		if f == want {
+			return f, nil
+		}
+		// Null labels are session-local: match null answers by position.
+		if want.Value.IsNull() && f.Value.IsNull() && f.Pos == want.Pos {
+			return f, nil
+		}
+	}
+	return core.Fix{}, fmt.Errorf("journal: entry %d's fix %s not offered by the question", r.next-1, want)
+}

@@ -1,0 +1,115 @@
+package inquiry
+
+import (
+	"path/filepath"
+	"testing"
+
+	"kbrepair/internal/core"
+	"kbrepair/internal/logic"
+)
+
+func TestJournalRecordAndReplay(t *testing.T) {
+	kb := fig1bKB(t)
+	rec := NewRecordingUser(NewSimulatedUser(4), "opti-join")
+	e := New(kb, OptiJoin{}, rec, 4, Options{})
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Journal.Entries) != res.Questions {
+		t.Fatalf("journal entries = %d, questions = %d", len(rec.Journal.Entries), res.Questions)
+	}
+
+	// Round-trip through JSON.
+	data, err := rec.Journal.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := UnmarshalJournal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Strategy != "opti-join" || len(j2.Entries) != len(rec.Journal.Entries) {
+		t.Fatal("journal round trip lost data")
+	}
+
+	// Replay on a fresh copy reproduces the repair (up to null labels).
+	kb2 := fig1bKB(t)
+	replay := NewReplayUser(j2)
+	e2 := New(kb2, OptiJoin{}, replay, 4, Options{})
+	res2, err := e2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Consistent {
+		t.Fatal("replay inconsistent")
+	}
+	if res2.Questions != res.Questions {
+		t.Errorf("replay asked %d questions, original %d", res2.Questions, res.Questions)
+	}
+	if !kb2.Facts.EqualUpToNullRenaming(kb.Facts) {
+		t.Errorf("replay diverged:\n%s\nvs\n%s", kb2.Facts, kb.Facts)
+	}
+	if replay.Remaining() != 0 {
+		t.Errorf("replay left %d unconsumed entries", replay.Remaining())
+	}
+}
+
+func TestJournalSaveLoad(t *testing.T) {
+	kb := fig1aKB(t)
+	rec := NewRecordingUser(NewSimulatedUser(2), "random")
+	e := New(kb, Random{}, rec, 2, Options{})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "session.json")
+	if err := SaveJournal(rec.Journal, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Entries) != len(rec.Journal.Entries) {
+		t.Error("save/load changed entry count")
+	}
+	if _, err := LoadJournal(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing journal loaded")
+	}
+}
+
+func TestReplayUserErrors(t *testing.T) {
+	f := core.Fix{Pos: core.Position{Fact: 0, Arg: 0}, Value: logic.C("a")}
+	q := Question{Fixes: core.FixSet{f}}
+
+	// Exhausted journal.
+	empty := NewReplayUser(&Journal{})
+	if _, err := empty.Choose(nil, q); err == nil {
+		t.Error("exhausted replay answered")
+	}
+	// Recorded fix not offered.
+	j := &Journal{Entries: []JournalEntry{{
+		Offered: []JournalFix{{Fact: 5, Arg: 1, Kind: "const", Value: "zzz"}},
+		Chosen:  0,
+	}}}
+	r := NewReplayUser(j)
+	if _, err := r.Choose(nil, q); err == nil {
+		t.Error("mismatched replay answered")
+	}
+	// Invalid chosen index.
+	j2 := &Journal{Entries: []JournalEntry{{Chosen: 3}}}
+	if _, err := NewReplayUser(j2).Choose(nil, q); err == nil {
+		t.Error("invalid chosen index accepted")
+	}
+	// Unknown term kind.
+	bad := JournalFix{Kind: "weird"}
+	if _, err := bad.Fix(); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestUnmarshalJournalBadJSON(t *testing.T) {
+	if _, err := UnmarshalJournal([]byte("{nope")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}

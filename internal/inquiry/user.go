@@ -1,0 +1,120 @@
+package inquiry
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"kbrepair/internal/core"
+	"kbrepair/internal/store"
+)
+
+// User answers sound questions. Implementations must return one of the
+// question's fixes.
+type User interface {
+	// Choose picks one fix from the question. kb is the current (not yet
+	// updated) knowledge base, offered for context.
+	Choose(kb *core.KB, q Question) (core.Fix, error)
+}
+
+// ErrNoAnswer is returned by users that cannot answer the question (e.g. an
+// oracle asked about positions its repair never touches — which Lemma 4.7
+// proves impossible during a well-formed inquiry).
+var ErrNoAnswer = errors.New("inquiry: user cannot answer the question")
+
+// FuncUser adapts a function to the User interface.
+type FuncUser func(kb *core.KB, q Question) (core.Fix, error)
+
+// Choose implements User.
+func (f FuncUser) Choose(kb *core.KB, q Question) (core.Fix, error) { return f(kb, q) }
+
+// SimulatedUser chooses uniformly at random among the proposed fixes — the
+// end-user simulation of the paper's experimental setup (§6).
+type SimulatedUser struct {
+	Rng *rand.Rand
+}
+
+// NewSimulatedUser builds a simulated user with the given seed.
+func NewSimulatedUser(seed int64) *SimulatedUser {
+	return &SimulatedUser{Rng: rand.New(rand.NewSource(seed))}
+}
+
+// Choose implements User.
+func (u *SimulatedUser) Choose(_ *core.KB, q Question) (core.Fix, error) {
+	if q.Empty() {
+		return core.Fix{}, ErrNoAnswer
+	}
+	return q.Fixes[u.Rng.Intn(len(q.Fixes))], nil
+}
+
+// Oracle is the §4.1 user model: it has a u-repair F_O in mind and answers
+// every question with a fix from diff(F, F_O). When several offered fixes
+// belong to the diff, it chooses one at random (the paper's
+// non-deterministic choice), or the first if no RNG is provided.
+//
+// The target store must have the same fact ids as the knowledge base under
+// repair (the natural match(x) by identity). A fix proposing a fresh
+// existential variable matches a target position holding any labeled null:
+// both denote "an unknown value unique to this position".
+type Oracle struct {
+	Target *store.Store
+	Rng    *rand.Rand
+}
+
+// NewOracle builds an oracle for the target repair.
+func NewOracle(target *store.Store, seed int64) *Oracle {
+	return &Oracle{Target: target, Rng: rand.New(rand.NewSource(seed))}
+}
+
+// Matches reports whether the fix agrees with the oracle's repair at its
+// position, taking null-for-null equivalence into account.
+func (o *Oracle) Matches(kb *core.KB, f core.Fix) bool {
+	if !o.Target.Valid(f.Pos.Fact) || f.Pos.Arg >= o.Target.Arity(f.Pos.Fact) {
+		return false
+	}
+	want := o.Target.Value(f.Pos)
+	cur := kb.Facts.Value(f.Pos)
+	if cur == want || (cur.IsNull() && want.IsNull()) {
+		return false // position already agrees with the repair: not in diff
+	}
+	if f.Value == want {
+		return true
+	}
+	return f.Value.IsNull() && want.IsNull()
+}
+
+// Choose implements User: among the offered fixes, those in diff(F, F_O)
+// are candidates; one is returned (randomly if an RNG is set).
+func (o *Oracle) Choose(kb *core.KB, q Question) (core.Fix, error) {
+	var cands core.FixSet
+	for _, f := range q.Fixes {
+		if o.Matches(kb, f) {
+			cands = append(cands, f)
+		}
+	}
+	if len(cands) == 0 {
+		return core.Fix{}, fmt.Errorf("%w: none of %d fixes in oracle diff", ErrNoAnswer, len(q.Fixes))
+	}
+	if o.Rng == nil {
+		return cands[0], nil
+	}
+	return cands[o.Rng.Intn(len(cands))], nil
+}
+
+// RemainingDiff returns diff(F, F_O) for the current KB state — the fixes
+// the oracle still wants applied. Null-valued target positions whose
+// current value is already a null are considered settled.
+func (o *Oracle) RemainingDiff(kb *core.KB) core.FixSet {
+	var out core.FixSet
+	for _, id := range kb.Facts.IDs() {
+		for i := 0; i < kb.Facts.Arity(id); i++ {
+			pos := core.Position{Fact: id, Arg: i}
+			cur, want := kb.Facts.Value(pos), o.Target.Value(pos)
+			if cur == want || (cur.IsNull() && want.IsNull()) {
+				continue
+			}
+			out = append(out, core.Fix{Pos: pos, Value: want})
+		}
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Atom is a predicate applied to a tuple of terms, e.g.
+// prescribed(Aspirin, John). The zero value is not a valid atom.
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+// NewAtom builds an atom from a predicate name and its arguments.
+func NewAtom(pred string, args ...Term) Atom {
+	return Atom{Pred: pred, Args: args}
+}
+
+// Arity returns the number of arguments of the atom.
+func (a Atom) Arity() int { return len(a.Args) }
+
+// IsGround reports whether the atom contains no rule variables. Facts are
+// ground atoms (they may contain labeled nulls).
+func (a Atom) IsGround() bool {
+	for _, t := range a.Args {
+		if t.IsVar() {
+			return false
+		}
+	}
+	return true
+}
+
+// Vars returns the set of variables occurring in the atom, in first
+// occurrence order.
+func (a Atom) Vars() []Term {
+	var out []Term
+	seen := make(map[Term]bool, len(a.Args))
+	for _, t := range a.Args {
+		if t.IsVar() && !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Equal reports whether two atoms are identical (same predicate, same
+// arguments in the same order).
+func (a Atom) Equal(b Atom) bool {
+	if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if a.Args[i] != b.Args[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the atom (the argument slice is copied).
+func (a Atom) Clone() Atom {
+	args := make([]Term, len(a.Args))
+	copy(args, a.Args)
+	return Atom{Pred: a.Pred, Args: args}
+}
+
+// Key returns a canonical string identifying the atom. Two atoms have the
+// same Key iff they are Equal, so Key can serve as a map key for ground-atom
+// deduplication.
+func (a Atom) Key() string {
+	var sb strings.Builder
+	sb.WriteString(a.Pred)
+	sb.WriteByte('/')
+	for i, t := range a.Args {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteByte(byte('0' + t.Kind))
+		sb.WriteString(t.Name)
+	}
+	return sb.String()
+}
+
+// String renders the atom in the parser syntax, e.g. "p(a, X, _:n1)".
+func (a Atom) String() string {
+	var sb strings.Builder
+	sb.WriteString(a.Pred)
+	sb.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(t.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Compare orders atoms by predicate, arity, then argument terms. Used to
+// produce deterministic output.
+func (a Atom) Compare(b Atom) int {
+	if c := strings.Compare(a.Pred, b.Pred); c != 0 {
+		return c
+	}
+	if len(a.Args) != len(b.Args) {
+		if len(a.Args) < len(b.Args) {
+			return -1
+		}
+		return 1
+	}
+	for i := range a.Args {
+		if c := a.Args[i].Compare(b.Args[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// SortAtoms sorts atoms in place in Atom.Compare order.
+func SortAtoms(as []Atom) {
+	for i := 1; i < len(as); i++ {
+		for j := i; j > 0 && as[j].Compare(as[j-1]) < 0; j-- {
+			as[j], as[j-1] = as[j-1], as[j]
+		}
+	}
+}
+
+// AtomsString renders a conjunction of atoms separated by ", ".
+func AtomsString(as []Atom) string {
+	parts := make([]string, len(as))
+	for i, a := range as {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// VarsOf returns the variables of a conjunction of atoms in first occurrence
+// order.
+func VarsOf(as []Atom) []Term {
+	var out []Term
+	seen := make(map[Term]bool)
+	for _, a := range as {
+		for _, t := range a.Args {
+			if t.IsVar() && !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	return out
+}
+
+// validateGround returns an error if the atom is not ground.
+func validateGround(a Atom) error {
+	if !a.IsGround() {
+		return fmt.Errorf("atom %s is not ground", a)
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package logic
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAtomBasics(t *testing.T) {
+	a := NewAtom("prescribed", C("Aspirin"), C("John"))
+	if a.Arity() != 2 {
+		t.Errorf("arity = %d, want 2", a.Arity())
+	}
+	if !a.IsGround() {
+		t.Error("ground atom misclassified")
+	}
+	if got := a.String(); got != "prescribed(Aspirin, John)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestAtomVars(t *testing.T) {
+	a := NewAtom("p", V("X"), C("a"), V("Y"), V("X"))
+	vars := a.Vars()
+	want := []Term{V("X"), V("Y")}
+	if !reflect.DeepEqual(vars, want) {
+		t.Errorf("Vars = %v, want %v", vars, want)
+	}
+	if a.IsGround() {
+		t.Error("atom with vars reported ground")
+	}
+}
+
+func TestAtomEqualCloneKey(t *testing.T) {
+	a := NewAtom("p", C("a"), N("n1"))
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Error("clone not equal")
+	}
+	if a.Key() != b.Key() {
+		t.Error("clone key differs")
+	}
+	// mutating clone must not affect original
+	b.Args[0] = C("z")
+	if a.Equal(b) {
+		t.Error("mutating clone affected original or Equal is broken")
+	}
+	if a.Args[0] != C("a") {
+		t.Error("clone shares args with original")
+	}
+	if NewAtom("p", C("a")).Equal(NewAtom("q", C("a"))) {
+		t.Error("different predicates equal")
+	}
+	if NewAtom("p", C("a")).Equal(NewAtom("p", C("a"), C("b"))) {
+		t.Error("different arity equal")
+	}
+}
+
+func TestAtomKeyDistinguishesKinds(t *testing.T) {
+	a := NewAtom("p", C("x"))
+	b := NewAtom("p", V("x"))
+	c := NewAtom("p", N("x"))
+	if a.Key() == b.Key() || b.Key() == c.Key() || a.Key() == c.Key() {
+		t.Error("Key does not distinguish term kinds")
+	}
+}
+
+func TestAtomKeyNoCollisionOnArgBoundaries(t *testing.T) {
+	// p(ab, c) vs p(a, bc) must have distinct keys.
+	a := NewAtom("p", C("ab"), C("c"))
+	b := NewAtom("p", C("a"), C("bc"))
+	if a.Key() == b.Key() {
+		t.Errorf("key collision: %q", a.Key())
+	}
+}
+
+func TestAtomCompareAndSort(t *testing.T) {
+	as := []Atom{
+		NewAtom("q", C("a")),
+		NewAtom("p", C("b")),
+		NewAtom("p", C("a")),
+		NewAtom("p", C("a"), C("b")),
+	}
+	SortAtoms(as)
+	want := []Atom{
+		NewAtom("p", C("a")),
+		NewAtom("p", C("b")),
+		NewAtom("p", C("a"), C("b")),
+		NewAtom("q", C("a")),
+	}
+	if !reflect.DeepEqual(as, want) {
+		t.Errorf("SortAtoms = %v, want %v", as, want)
+	}
+}
+
+func TestAtomsString(t *testing.T) {
+	as := []Atom{NewAtom("p", C("a")), NewAtom("q", V("X"))}
+	if got := AtomsString(as); got != "p(a), q(X)" {
+		t.Errorf("AtomsString = %q", got)
+	}
+}
+
+func TestVarsOf(t *testing.T) {
+	as := []Atom{
+		NewAtom("p", V("X"), C("a")),
+		NewAtom("q", V("Y"), V("X")),
+	}
+	got := VarsOf(as)
+	want := []Term{V("X"), V("Y")}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("VarsOf = %v, want %v", got, want)
+	}
+}
+
+func TestValidateGround(t *testing.T) {
+	if err := validateGround(NewAtom("p", C("a"), N("n"))); err != nil {
+		t.Errorf("ground atom rejected: %v", err)
+	}
+	if err := validateGround(NewAtom("p", V("X"))); err == nil {
+		t.Error("non-ground atom accepted")
+	}
+}
+
+func randomAtom(r *rand.Rand) Atom {
+	preds := []string{"p", "q", "r"}
+	n := 1 + r.Intn(3)
+	args := make([]Term, n)
+	for i := range args {
+		args[i] = randomTerm(r)
+	}
+	return NewAtom(preds[r.Intn(len(preds))], args...)
+}
+
+func TestAtomKeyEqualConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomAtom(r), randomAtom(r)
+		return (a.Key() == b.Key()) == a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

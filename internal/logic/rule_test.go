@@ -1,0 +1,162 @@
+package logic
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestTGDValidate(t *testing.T) {
+	ok := &TGD{
+		Body: []Atom{NewAtom("isPainKillerFor", V("X"), V("Y")), NewAtom("hasPain", V("Z"), V("Y"))},
+		Head: []Atom{NewAtom("prescribed", V("X"), V("Z"))},
+	}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid TGD rejected: %v", err)
+	}
+	if err := (&TGD{Head: ok.Head}).Validate(); err == nil {
+		t.Error("empty body accepted")
+	}
+	if err := (&TGD{Body: ok.Body}).Validate(); err == nil {
+		t.Error("empty head accepted")
+	}
+	withNull := &TGD{
+		Body: []Atom{NewAtom("p", N("n1"))},
+		Head: []Atom{NewAtom("q", V("X"))},
+	}
+	if err := withNull.Validate(); err == nil {
+		t.Error("null inside rule accepted")
+	}
+}
+
+func TestTGDFrontierAndExistential(t *testing.T) {
+	// isCultivatedOn(X1,X2), durum_wheat(X1), soil(X2) -> hasPrecedent(X2,X3), soybean(X3)
+	tg := MustTGD(
+		[]Atom{
+			NewAtom("isCultivatedOn", V("X1"), V("X2")),
+			NewAtom("durum_wheat", V("X1")),
+			NewAtom("soil", V("X2")),
+		},
+		[]Atom{
+			NewAtom("hasPrecedent", V("X2"), V("X3")),
+			NewAtom("soybean", V("X3")),
+		},
+	)
+	if got, want := tg.FrontierVars(), []Term{V("X2")}; !reflect.DeepEqual(got, want) {
+		t.Errorf("frontier = %v, want %v", got, want)
+	}
+	if got, want := tg.ExistentialVars(), []Term{V("X3")}; !reflect.DeepEqual(got, want) {
+		t.Errorf("existential = %v, want %v", got, want)
+	}
+}
+
+func TestTGDString(t *testing.T) {
+	tg := MustTGD(
+		[]Atom{NewAtom("p", V("X"))},
+		[]Atom{NewAtom("q", V("X"), V("Z"))},
+	)
+	if got := tg.String(); got != "[tgd] p(X) -> q(X, Z)." {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestCDDValidate(t *testing.T) {
+	ok := MustCDD([]Atom{
+		NewAtom("prescribed", V("X"), V("Y")),
+		NewAtom("hasAllergy", V("Y"), V("X")),
+	})
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid CDD rejected: %v", err)
+	}
+	if _, err := NewCDD(nil); err == nil {
+		t.Error("empty CDD accepted")
+	}
+	// Multi-atom body with no join variable is the meaningless cartesian case.
+	if _, err := NewCDD([]Atom{NewAtom("p", V("X")), NewAtom("q", V("Y"))}); err == nil {
+		t.Error("cartesian CDD accepted")
+	}
+	// Single-atom CDDs are allowed (e.g. forbidden combination inside one atom).
+	if _, err := NewCDD([]Atom{NewAtom("p", V("X"), V("X"))}); err != nil {
+		t.Errorf("single-atom CDD rejected: %v", err)
+	}
+	if _, err := NewCDD([]Atom{NewAtom("p", N("n"))}); err == nil {
+		t.Error("null inside CDD accepted")
+	}
+}
+
+func TestCDDJoinVarsAndPositions(t *testing.T) {
+	// isUrgent(X,Y,Z), isDeferredTo(X,W) -> ⊥ ; only X is a join variable.
+	c := MustCDD([]Atom{
+		NewAtom("isUrgent", V("X"), V("Y"), V("Z")),
+		NewAtom("isDeferredTo", V("X"), V("W")),
+	})
+	if got, want := c.JoinVars(), []Term{V("X")}; !reflect.DeepEqual(got, want) {
+		t.Errorf("JoinVars = %v, want %v", got, want)
+	}
+	jp := c.JoinPositions()
+	if !reflect.DeepEqual(jp[0], []int{0}) || !reflect.DeepEqual(jp[1], []int{0}) {
+		t.Errorf("JoinPositions = %v", jp)
+	}
+	// Repeated variable within a single atom is also a join.
+	c2 := MustCDD([]Atom{NewAtom("p", V("X"), V("X"))})
+	if got := c2.JoinVars(); len(got) != 1 || got[0] != V("X") {
+		t.Errorf("JoinVars single-atom = %v", got)
+	}
+}
+
+func TestCDDString(t *testing.T) {
+	c := MustCDD([]Atom{
+		NewAtom("prescribed", V("X"), V("Y")),
+		NewAtom("hasAllergy", V("Y"), V("X")),
+	})
+	want := "[cdd] prescribed(X, Y), hasAllergy(Y, X) -> !."
+	if got := c.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestRuleSetPredicatesCloneString(t *testing.T) {
+	rs := RuleSet{
+		TGDs: []*TGD{MustTGD(
+			[]Atom{NewAtom("isPainKillerFor", V("X"), V("Y")), NewAtom("hasPain", V("Z"), V("Y"))},
+			[]Atom{NewAtom("prescribed", V("X"), V("Z"))},
+		)},
+		CDDs: []*CDD{MustCDD([]Atom{
+			NewAtom("prescribed", V("X"), V("Y")),
+			NewAtom("hasAllergy", V("Y"), V("X")),
+		})},
+	}
+	preds := rs.Predicates()
+	for _, p := range []string{"isPainKillerFor", "hasPain", "prescribed", "hasAllergy"} {
+		if preds[p] != 2 {
+			t.Errorf("predicate %s arity = %d, want 2", p, preds[p])
+		}
+	}
+	c := rs.Clone()
+	c.TGDs = append(c.TGDs, c.TGDs[0])
+	if len(rs.TGDs) != 1 {
+		t.Error("Clone shares backing array growth")
+	}
+	s := rs.String()
+	if !strings.Contains(s, "[tgd]") || !strings.Contains(s, "[cdd]") {
+		t.Errorf("RuleSet.String = %q", s)
+	}
+}
+
+func TestMustPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTGD did not panic on invalid rule")
+		}
+	}()
+	MustTGD(nil, nil)
+}
+
+func TestMustCDDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCDD did not panic on invalid rule")
+		}
+	}()
+	MustCDD(nil)
+}

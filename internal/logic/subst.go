@@ -1,0 +1,131 @@
+package logic
+
+import (
+	"sort"
+	"strings"
+)
+
+// Subst is a substitution mapping rule variables to terms. A homomorphism
+// from a conjunction of atoms B to a set of facts F is a Subst h such that
+// h(B) ⊆ F, where constants and nulls are mapped to themselves.
+type Subst map[Term]Term
+
+// NewSubst returns an empty substitution.
+func NewSubst() Subst { return make(Subst) }
+
+// Bind returns a copy of s extended with v ↦ t. It does not mutate s, which
+// makes it convenient (if slightly allocation-heavy) for functional code;
+// the homomorphism search uses in-place bindings with undo instead.
+func (s Subst) Bind(v, t Term) Subst {
+	out := make(Subst, len(s)+1)
+	for k, val := range s {
+		out[k] = val
+	}
+	out[v] = t
+	return out
+}
+
+// Lookup resolves a term under the substitution: variables map to their
+// binding (or themselves if unbound); constants and nulls map to themselves.
+func (s Subst) Lookup(t Term) Term {
+	if t.IsVar() {
+		if b, ok := s[t]; ok {
+			return b
+		}
+	}
+	return t
+}
+
+// Apply returns the image of the atom under the substitution.
+func (s Subst) Apply(a Atom) Atom {
+	args := make([]Term, len(a.Args))
+	for i, t := range a.Args {
+		args[i] = s.Lookup(t)
+	}
+	return Atom{Pred: a.Pred, Args: args}
+}
+
+// ApplyAll returns the image of a conjunction of atoms under the
+// substitution.
+func (s Subst) ApplyAll(as []Atom) []Atom {
+	out := make([]Atom, len(as))
+	for i, a := range as {
+		out[i] = s.Apply(a)
+	}
+	return out
+}
+
+// Clone returns a copy of the substitution.
+func (s Subst) Clone() Subst {
+	out := make(Subst, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Restrict returns the restriction of s to the given variables.
+func (s Subst) Restrict(vars []Term) Subst {
+	out := make(Subst, len(vars))
+	for _, v := range vars {
+		if b, ok := s[v]; ok {
+			out[v] = b
+		}
+	}
+	return out
+}
+
+// Equal reports whether two substitutions contain exactly the same bindings.
+func (s Subst) Equal(t Subst) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for k, v := range s {
+		if tv, ok := t[k]; !ok || tv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string for the substitution, suitable for
+// deduplicating homomorphisms.
+func (s Subst) Key() string {
+	keys := make([]Term, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Compare(keys[j]) < 0 })
+	var sb strings.Builder
+	for _, k := range keys {
+		sb.WriteString(k.Name)
+		sb.WriteByte('=')
+		v := s[k]
+		sb.WriteByte(byte('0' + v.Kind))
+		sb.WriteString(v.Name)
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// String renders the substitution as "{X=a, Y=b}" with deterministic key
+// order.
+func (s Subst) String() string {
+	keys := make([]Term, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Compare(keys[j]) < 0 })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(k.Name)
+		sb.WriteByte('=')
+		sb.WriteString(s[k].String())
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -1,0 +1,131 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSubstLookupApply(t *testing.T) {
+	s := Subst{V("X"): C("a"), V("Y"): N("n1")}
+	if s.Lookup(V("X")) != C("a") {
+		t.Error("bound variable lookup failed")
+	}
+	if s.Lookup(V("Z")) != V("Z") {
+		t.Error("unbound variable should map to itself")
+	}
+	if s.Lookup(C("k")) != C("k") {
+		t.Error("constant should map to itself")
+	}
+	if s.Lookup(N("m")) != N("m") {
+		t.Error("null should map to itself")
+	}
+	a := NewAtom("p", V("X"), V("Y"), V("Z"), C("c"))
+	got := s.Apply(a)
+	want := NewAtom("p", C("a"), N("n1"), V("Z"), C("c"))
+	if !got.Equal(want) {
+		t.Errorf("Apply = %v, want %v", got, want)
+	}
+	// Apply must not mutate the input atom.
+	if !a.Equal(NewAtom("p", V("X"), V("Y"), V("Z"), C("c"))) {
+		t.Error("Apply mutated its argument")
+	}
+}
+
+func TestSubstBindIsImmutable(t *testing.T) {
+	s := NewSubst()
+	s2 := s.Bind(V("X"), C("a"))
+	if len(s) != 0 {
+		t.Error("Bind mutated receiver")
+	}
+	if s2.Lookup(V("X")) != C("a") {
+		t.Error("Bind result lacks binding")
+	}
+}
+
+func TestSubstApplyAll(t *testing.T) {
+	s := Subst{V("X"): C("a")}
+	as := []Atom{NewAtom("p", V("X")), NewAtom("q", V("Y"))}
+	got := s.ApplyAll(as)
+	if !got[0].Equal(NewAtom("p", C("a"))) || !got[1].Equal(NewAtom("q", V("Y"))) {
+		t.Errorf("ApplyAll = %v", got)
+	}
+}
+
+func TestSubstCloneRestrictEqual(t *testing.T) {
+	s := Subst{V("X"): C("a"), V("Y"): C("b")}
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Error("clone not equal")
+	}
+	c[V("X")] = C("z")
+	if s[V("X")] != C("a") {
+		t.Error("clone shares storage")
+	}
+	r := s.Restrict([]Term{V("Y"), V("Missing")})
+	if len(r) != 1 || r[V("Y")] != C("b") {
+		t.Errorf("Restrict = %v", r)
+	}
+	if s.Equal(Subst{V("X"): C("a")}) {
+		t.Error("Equal ignored size")
+	}
+	if s.Equal(Subst{V("X"): C("a"), V("Y"): C("zzz")}) {
+		t.Error("Equal ignored value")
+	}
+}
+
+func TestSubstKeyString(t *testing.T) {
+	s := Subst{V("Y"): C("b"), V("X"): C("a")}
+	if s.Key() != (Subst{V("X"): C("a"), V("Y"): C("b")}).Key() {
+		t.Error("Key not order independent")
+	}
+	if got := s.String(); got != "{X=a, Y=b}" {
+		t.Errorf("String = %q", got)
+	}
+	// Keys must distinguish kinds of bound values.
+	s1 := Subst{V("X"): C("a")}
+	s2 := Subst{V("X"): N("a")}
+	if s1.Key() == s2.Key() {
+		t.Error("Key does not distinguish bound-value kinds")
+	}
+}
+
+func TestSubstKeyEqualConsistency(t *testing.T) {
+	gen := func(r *rand.Rand) Subst {
+		s := NewSubst()
+		vars := []Term{V("X"), V("Y"), V("Z")}
+		for _, v := range vars {
+			if r.Intn(2) == 0 {
+				s[v] = randomTerm(r)
+			}
+		}
+		return s
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := gen(r), gen(r)
+		return (a.Key() == b.Key()) == a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Apply is compositional with Lookup on each argument.
+func TestSubstApplyPointwise(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := Subst{V("X"): randomTerm(r), V("Y"): randomTerm(r)}
+		a := randomAtom(r)
+		img := s.Apply(a)
+		for i := range a.Args {
+			if img.Args[i] != s.Lookup(a.Args[i]) {
+				return false
+			}
+		}
+		return img.Pred == a.Pred
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+package logic
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermConstructors(t *testing.T) {
+	c := C("Aspirin")
+	if !c.IsConst() || c.IsVar() || c.IsNull() || !c.IsGround() {
+		t.Errorf("C(Aspirin) classified wrong: %+v", c)
+	}
+	v := V("X")
+	if !v.IsVar() || v.IsConst() || v.IsNull() || v.IsGround() {
+		t.Errorf("V(X) classified wrong: %+v", v)
+	}
+	n := N("n1")
+	if !n.IsNull() || n.IsConst() || n.IsVar() || !n.IsGround() {
+		t.Errorf("N(n1) classified wrong: %+v", n)
+	}
+}
+
+func TestTermEquality(t *testing.T) {
+	if C("a") != C("a") {
+		t.Error("identical constants must be ==")
+	}
+	if C("a") == V("a") {
+		t.Error("constant and variable with same name must differ")
+	}
+	if C("a") == N("a") {
+		t.Error("constant and null with same name must differ")
+	}
+	if V("a") == N("a") {
+		t.Error("variable and null with same name must differ")
+	}
+}
+
+func TestTermString(t *testing.T) {
+	cases := []struct {
+		in   Term
+		want string
+	}{
+		{C("Aspirin"), "Aspirin"},
+		{V("X"), "X"},
+		{N("n3"), "_:n3"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Const.String() != "const" || Var.String() != "var" || Null.String() != "null" {
+		t.Error("Kind.String mismatch")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Errorf("unknown kind string = %q", Kind(9).String())
+	}
+}
+
+func TestTermCompare(t *testing.T) {
+	if C("a").Compare(C("b")) >= 0 {
+		t.Error("a should sort before b")
+	}
+	if C("a").Compare(C("a")) != 0 {
+		t.Error("equal terms should compare 0")
+	}
+	if C("z").Compare(V("a")) >= 0 {
+		t.Error("constants should sort before variables")
+	}
+	if V("z").Compare(N("a")) >= 0 {
+		t.Error("variables should sort before nulls")
+	}
+}
+
+// randomTerm produces arbitrary terms for property tests.
+func randomTerm(r *rand.Rand) Term {
+	kinds := []Kind{Const, Var, Null}
+	names := []string{"a", "b", "c", "X", "Y", "n1", "n2", "Aspirin"}
+	return Term{Kind: kinds[r.Intn(len(kinds))], Name: names[r.Intn(len(names))]}
+}
+
+func TestCompareIsTotalOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		a, b, c := randomTerm(r), randomTerm(r), randomTerm(r)
+		// antisymmetry
+		if a.Compare(b) != -b.Compare(a) {
+			t.Fatalf("antisymmetry violated for %v %v", a, b)
+		}
+		// reflexivity
+		if a.Compare(a) != 0 {
+			t.Fatalf("reflexivity violated for %v", a)
+		}
+		// transitivity (only the ≤ direction)
+		if a.Compare(b) <= 0 && b.Compare(c) <= 0 && a.Compare(c) > 0 {
+			t.Fatalf("transitivity violated for %v %v %v", a, b, c)
+		}
+		// consistency with equality
+		if (a.Compare(b) == 0) != (a == b) {
+			t.Fatalf("compare/equality mismatch for %v %v", a, b)
+		}
+	}
+}
+
+func TestSortTerms(t *testing.T) {
+	ts := []Term{N("z"), C("b"), V("m"), C("a")}
+	SortTerms(ts)
+	want := []Term{C("a"), C("b"), V("m"), N("z")}
+	if !reflect.DeepEqual(ts, want) {
+		t.Errorf("SortTerms = %v, want %v", ts, want)
+	}
+}
+
+func TestSortTermsProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		ts := make([]Term, int(n)%20)
+		for i := range ts {
+			ts[i] = randomTerm(r)
+		}
+		SortTerms(ts)
+		for i := 1; i < len(ts); i++ {
+			if ts[i-1].Compare(ts[i]) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

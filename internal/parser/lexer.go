@@ -1,0 +1,266 @@
+// Package parser implements the kbrepair text format for knowledge bases:
+//
+//	# facts are ground atoms terminated by '.'
+//	prescribed(Aspirin, John).
+//	hasAllergy(John, _:x1).          # labeled null
+//
+//	# rules carry a [tgd] or [cdd] tag; in rule bodies/heads, identifiers
+//	# starting with an uppercase letter are variables (Datalog convention),
+//	# everything else — including "Quoted Strings" — is a constant.
+//	[tgd] isPainKillerFor(X, Y), hasPain(Z, Y) -> prescribed(X, Z).
+//	[cdd] prescribed(X, Y), hasAllergy(Y, X) -> !.
+//
+//	# CDD bodies may use equality atoms, normalized away at parse time:
+//	[cdd] p(X, Y), q(Z), X = Z -> !.
+//
+// Comments run from '#' or '%' to end of line. The serializer quotes rule
+// constants that would otherwise read back as variables, so Parse/Serialize
+// round-trips.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString // quoted constant
+	tokNull   // _:label
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokArrow  // ->
+	tokBang   // ! or ⊥
+	tokEquals // =
+	tokTag    // [tgd] or [cdd], Text holds "tgd"/"cdd"
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "quoted string"
+	case tokNull:
+		return "labeled null"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokArrow:
+		return "'->'"
+	case tokBang:
+		return "'!'"
+	case tokEquals:
+		return "'='"
+	case tokTag:
+		return "rule tag"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errorf(line, col int, format string, args ...any) error {
+	return fmt.Errorf("%d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isIdentStartRune(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPartRune(r rune) bool {
+	return r == '_' || r == '-' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// peekRune decodes the rune at the current position.
+func (l *lexer) peekRune() (rune, int) {
+	if l.pos >= len(l.src) {
+		return 0, 0
+	}
+	return utf8.DecodeRuneInString(l.src[l.pos:])
+}
+
+// advanceRune consumes one full rune.
+func (l *lexer) advanceRune() {
+	_, size := l.peekRune()
+	for i := 0; i < size; i++ {
+		l.advance()
+	}
+}
+
+// scanIdent consumes an identifier starting at the current position.
+func (l *lexer) scanIdent() string {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, _ := l.peekRune()
+		if !isIdentPartRune(r) {
+			break
+		}
+		l.advanceRune()
+	}
+	return l.src[start:l.pos]
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#' || c == '%':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, line: l.line, col: l.col}, nil
+
+scan:
+	line, col := l.line, l.col
+	c := l.peekByte()
+	switch {
+	case c == '(':
+		l.advance()
+		return token{tokLParen, "(", line, col}, nil
+	case c == ')':
+		l.advance()
+		return token{tokRParen, ")", line, col}, nil
+	case c == ',':
+		l.advance()
+		return token{tokComma, ",", line, col}, nil
+	case c == '.':
+		l.advance()
+		return token{tokDot, ".", line, col}, nil
+	case c == '=':
+		l.advance()
+		return token{tokEquals, "=", line, col}, nil
+	case c == '!':
+		l.advance()
+		return token{tokBang, "!", line, col}, nil
+	case strings.HasPrefix(l.src[l.pos:], "⊥"):
+		for i := 0; i < len("⊥"); i++ {
+			l.advance()
+		}
+		return token{tokBang, "⊥", line, col}, nil
+	case c == '-':
+		l.advance()
+		if l.peekByte() != '>' {
+			return token{}, l.errorf(line, col, "expected '->' after '-'")
+		}
+		l.advance()
+		return token{tokArrow, "->", line, col}, nil
+	case c == '[':
+		l.advance()
+		start := l.pos
+		for l.pos < len(l.src) && l.peekByte() != ']' {
+			l.advance()
+		}
+		if l.pos >= len(l.src) {
+			return token{}, l.errorf(line, col, "unterminated rule tag")
+		}
+		tag := strings.ToLower(strings.TrimSpace(l.src[start:l.pos]))
+		l.advance() // ']'
+		if tag != "tgd" && tag != "cdd" {
+			return token{}, l.errorf(line, col, "unknown rule tag [%s] (want [tgd] or [cdd])", tag)
+		}
+		return token{tokTag, tag, line, col}, nil
+	case c == '"':
+		l.advance()
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errorf(line, col, "unterminated string")
+			}
+			ch := l.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' {
+				if l.pos >= len(l.src) {
+					return token{}, l.errorf(line, col, "unterminated escape")
+				}
+				esc := l.advance()
+				switch esc {
+				case '"', '\\':
+					sb.WriteByte(esc)
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				default:
+					return token{}, l.errorf(line, col, "unknown escape \\%c", esc)
+				}
+				continue
+			}
+			sb.WriteByte(ch)
+		}
+		return token{tokString, sb.String(), line, col}, nil
+	case c == '_' && strings.HasPrefix(l.src[l.pos:], "_:"):
+		l.advance() // _
+		l.advance() // :
+		label := l.scanIdent()
+		if label == "" {
+			return token{}, l.errorf(line, col, "empty null label after '_:'")
+		}
+		return token{tokNull, label, line, col}, nil
+	default:
+		if r, _ := l.peekRune(); isIdentStartRune(r) {
+			return token{tokIdent, l.scanIdent(), line, col}, nil
+		}
+		r, _ := l.peekRune()
+		return token{}, l.errorf(line, col, "unexpected character %q", r)
+	}
+}

@@ -1,0 +1,165 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"kbrepair/internal/logic"
+	"kbrepair/internal/store"
+)
+
+// randomDocument builds arbitrary well-formed documents: facts over a
+// random vocabulary (including quoted-worthy constants and nulls) plus
+// valid TGDs and CDDs.
+func randomDocument(r *rand.Rand) *Document {
+	doc := &Document{}
+	constPool := []string{
+		"a", "b", "Aspirin", "John", "12/10/2015", "with space",
+		`with"quote`, "UPPER", "x_y-z", "ünïcode",
+	}
+	randConst := func() logic.Term { return logic.C(constPool[r.Intn(len(constPool))]) }
+	preds := []string{"p", "q", "edge", "hasPart"}
+	arity := map[string]int{"p": 1, "q": 2, "edge": 2, "hasPart": 3}
+
+	// Facts.
+	for i := 0; i < 1+r.Intn(8); i++ {
+		pred := preds[r.Intn(len(preds))]
+		args := make([]logic.Term, arity[pred])
+		for j := range args {
+			if r.Intn(5) == 0 {
+				args[j] = logic.N("n" + string(rune('0'+r.Intn(10))))
+			} else {
+				args[j] = randConst()
+			}
+		}
+		doc.Facts = append(doc.Facts, logic.NewAtom(pred, args...))
+	}
+
+	// TGDs: q(X, Y) -> edge(Y, Z)-style rules with random constants mixed
+	// in (constants may be uppercase, exercising serializer quoting).
+	for i := 0; i < r.Intn(3); i++ {
+		body := []logic.Atom{logic.NewAtom("q", logic.V("X"), logic.V("Y"))}
+		head := []logic.Atom{logic.NewAtom("edge", logic.V("Y"), logic.V("Z"))}
+		if r.Intn(2) == 0 {
+			body = append(body, logic.NewAtom("p", logic.V("X")))
+		}
+		if r.Intn(3) == 0 {
+			head[0].Args[1] = randConst()
+		}
+		tgd, err := logic.NewTGD(body, head)
+		if err != nil {
+			continue
+		}
+		doc.TGDs = append(doc.TGDs, tgd)
+	}
+
+	// CDDs with join variables and occasional constants.
+	for i := 0; i < r.Intn(3); i++ {
+		body := []logic.Atom{
+			logic.NewAtom("q", logic.V("X"), logic.V("Y")),
+			logic.NewAtom("edge", logic.V("Y"), logic.V("W")),
+		}
+		if r.Intn(3) == 0 {
+			body[1].Args[1] = randConst()
+		}
+		cdd, err := logic.NewCDD(body)
+		if err != nil {
+			continue
+		}
+		doc.CDDs = append(doc.CDDs, cdd)
+	}
+	return doc
+}
+
+// TestSerializeParseRoundTripProperty: Parse(Serialize(doc)) == doc for
+// arbitrary documents.
+func TestSerializeParseRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := randomDocument(r)
+		text := Serialize(doc)
+		doc2, err := Parse(text)
+		if err != nil {
+			t.Logf("re-parse failed: %v\n%s", err, text)
+			return false
+		}
+		if len(doc2.Facts) != len(doc.Facts) ||
+			len(doc2.TGDs) != len(doc.TGDs) ||
+			len(doc2.CDDs) != len(doc.CDDs) {
+			return false
+		}
+		for i := range doc.Facts {
+			if !doc.Facts[i].Equal(doc2.Facts[i]) {
+				t.Logf("fact %d: %v vs %v", i, doc.Facts[i], doc2.Facts[i])
+				return false
+			}
+		}
+		for i := range doc.TGDs {
+			if doc.TGDs[i].String() != doc2.TGDs[i].String() {
+				return false
+			}
+		}
+		for i := range doc.CDDs {
+			if doc.CDDs[i].String() != doc2.CDDs[i].String() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParserNeverPanics: arbitrary byte soup must produce an error or a
+// document, never a panic.
+func TestParserNeverPanics(t *testing.T) {
+	pieces := []string{
+		"p", "(", ")", ",", ".", "->", "!", "[tgd]", "[cdd]", "X", "abc",
+		`"str"`, "_:n1", "=", "#c\n", " ", "⊥", `"\q"`, "[", "]", "-",
+	}
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		var sb strings.Builder
+		for i := 0; i < int(n); i++ {
+			sb.WriteString(pieces[r.Intn(len(pieces))])
+		}
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("panic on %q: %v", sb.String(), p)
+			}
+		}()
+		_, _ = Parse(sb.String())
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStoreRoundTrip: the Document.Store path preserves facts and the
+// serializer renders them back identically.
+func TestStoreRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := randomDocument(r)
+		st, err := doc.Store()
+		if err != nil {
+			return false
+		}
+		if st.Len() != len(doc.Facts) {
+			return false
+		}
+		for i, a := range doc.Facts {
+			if !st.FactRef(store.FactID(i)).Equal(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

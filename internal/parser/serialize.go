@@ -1,0 +1,115 @@
+package parser
+
+import (
+	"strings"
+
+	"kbrepair/internal/logic"
+)
+
+// Serialize renders a document back to the text format such that Parse
+// recovers it exactly. Rule constants that would read back as variables
+// (uppercase-initial) are quoted; identifiers with characters outside the
+// identifier alphabet are quoted everywhere.
+func Serialize(doc *Document) string {
+	var sb strings.Builder
+	sb.WriteString("# kbrepair knowledge base\n")
+	if len(doc.Facts) > 0 {
+		sb.WriteString("\n# facts\n")
+		for _, a := range doc.Facts {
+			writeAtom(&sb, a, factMode)
+			sb.WriteString(".\n")
+		}
+	}
+	if len(doc.TGDs) > 0 {
+		sb.WriteString("\n# tuple-generating dependencies\n")
+		for _, t := range doc.TGDs {
+			sb.WriteString("[tgd] ")
+			writeConjunction(&sb, t.Body, ruleMode)
+			sb.WriteString(" -> ")
+			writeConjunction(&sb, t.Head, ruleMode)
+			sb.WriteString(".\n")
+		}
+	}
+	if len(doc.CDDs) > 0 {
+		sb.WriteString("\n# contradiction-detecting dependencies\n")
+		for _, c := range doc.CDDs {
+			sb.WriteString("[cdd] ")
+			writeConjunction(&sb, c.Body, ruleMode)
+			sb.WriteString(" -> !.\n")
+		}
+	}
+	return sb.String()
+}
+
+func writeConjunction(sb *strings.Builder, atoms []logic.Atom, m mode) {
+	for i, a := range atoms {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		writeAtom(sb, a, m)
+	}
+}
+
+func writeAtom(sb *strings.Builder, a logic.Atom, m mode) {
+	sb.WriteString(quoteIfNeeded(a.Pred, false))
+	sb.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		writeTerm(sb, t, m)
+	}
+	sb.WriteByte(')')
+}
+
+func writeTerm(sb *strings.Builder, t logic.Term, m mode) {
+	switch t.Kind {
+	case logic.Null:
+		sb.WriteString("_:")
+		sb.WriteString(t.Name)
+	case logic.Var:
+		sb.WriteString(t.Name)
+	default: // constant
+		// In rules, an uppercase-initial bare constant would re-parse as a
+		// variable; quote it.
+		forceQuote := m == ruleMode && startsUpper(t.Name)
+		sb.WriteString(quoteIfNeeded(t.Name, forceQuote))
+	}
+}
+
+func quoteIfNeeded(s string, force bool) string {
+	need := force || s == ""
+	if !need {
+		for i, r := range s {
+			ok := isIdentPartRune(r)
+			if i == 0 && !isIdentStartRune(r) {
+				ok = false
+			}
+			if !ok {
+				need = true
+				break
+			}
+		}
+	}
+	if !need {
+		return s
+	}
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}

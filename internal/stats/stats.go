@@ -1,0 +1,131 @@
+// Package stats provides the summary statistics used by the experiment
+// harness: means, quantiles and five-number boxplot summaries (the paper
+// reports delay times as boxplots with means marked).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary is a five-number summary plus mean and outliers, matching the
+// boxplots of Figure 5 (whiskers at 1.5×IQR).
+type Summary struct {
+	N            int
+	Min, Max     float64
+	Q1, Median   float64
+	Q3           float64
+	Mean, StdDev float64
+	// WhiskerLo and WhiskerHi are the most extreme data points within
+	// 1.5×IQR of the quartiles.
+	WhiskerLo, WhiskerHi float64
+	// Outliers are the points beyond the whiskers.
+	Outliers []float64
+}
+
+// Mean returns the arithmetic mean, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (0 for n < 2).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the data using linear
+// interpolation between order statistics. The input need not be sorted.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summarize computes the boxplot summary of the data.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s := Summary{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Q1:     quantileSorted(sorted, 0.25),
+		Median: quantileSorted(sorted, 0.5),
+		Q3:     quantileSorted(sorted, 0.75),
+		Mean:   Mean(sorted),
+		StdDev: StdDev(sorted),
+	}
+	iqr := s.Q3 - s.Q1
+	loFence := s.Q1 - 1.5*iqr
+	hiFence := s.Q3 + 1.5*iqr
+	s.WhiskerLo, s.WhiskerHi = s.Max, s.Min
+	for _, x := range sorted {
+		if x >= loFence && x < s.WhiskerLo {
+			s.WhiskerLo = x
+		}
+		if x <= hiFence && x > s.WhiskerHi {
+			s.WhiskerHi = x
+		}
+		if x < loFence || x > hiFence {
+			s.Outliers = append(s.Outliers, x)
+		}
+	}
+	return s
+}
+
+// SummarizeDurations converts durations to seconds and summarizes them.
+func SummarizeDurations(ds []time.Duration) Summary {
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = d.Seconds()
+	}
+	return Summarize(xs)
+}
+
+// String renders the summary on one line, in seconds-style precision
+// appropriate for delay times.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4f med=%.4f q1=%.4f q3=%.4f min=%.4f max=%.4f outliers=%d",
+		s.N, s.Mean, s.Median, s.Q1, s.Q3, s.Min, s.Max, len(s.Outliers))
+}

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanStdDev(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Error("Mean wrong")
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Error("StdDev single")
+	}
+	if !almost(StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), math.Sqrt(32.0/7.0)) {
+		t.Errorf("StdDev = %f", StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}))
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4}
+	if !almost(Quantile(xs, 0), 1) || !almost(Quantile(xs, 1), 4) {
+		t.Error("extremes wrong")
+	}
+	if !almost(Quantile(xs, 0.5), 2.5) {
+		t.Errorf("median = %f", Quantile(xs, 0.5))
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile")
+	}
+	// Input must not be mutated (sorted copy).
+	if xs[0] != 3 {
+		t.Error("Quantile mutated input")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 100})
+	if s.N != 10 || s.Min != 1 || s.Max != 100 {
+		t.Errorf("summary = %+v", s)
+	}
+	if len(s.Outliers) != 1 || s.Outliers[0] != 100 {
+		t.Errorf("outliers = %v", s.Outliers)
+	}
+	if s.WhiskerHi != 9 {
+		t.Errorf("whisker hi = %f", s.WhiskerHi)
+	}
+	if s.WhiskerLo != 1 {
+		t.Errorf("whisker lo = %f", s.WhiskerLo)
+	}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+	if Summarize(nil).N != 0 {
+		t.Error("empty summary N != 0")
+	}
+}
+
+func TestSummarizeDurations(t *testing.T) {
+	s := SummarizeDurations([]time.Duration{time.Second, 3 * time.Second})
+	if !almost(s.Mean, 2.0) {
+		t.Errorf("duration mean = %f", s.Mean)
+	}
+}
+
+// Property: quartiles are ordered and bounded by min/max.
+func TestSummaryInvariants(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		xs := make([]float64, int(n)%50+1)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+		}
+		s := Summarize(xs)
+		ordered := s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 && s.Q3 <= s.Max
+		bounded := s.Mean >= s.Min && s.Mean <= s.Max
+		whiskers := s.WhiskerLo >= s.Min && s.WhiskerHi <= s.Max && s.WhiskerLo <= s.WhiskerHi
+		return ordered && bounded && whiskers
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
