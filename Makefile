@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test verify verify2 bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1 verify: the gate every change must pass.
+verify: build test
+
+# Tier-2 verify: static analysis plus race-enabled tests. Slower; run
+# before merging anything that touches shared state or internal/obs.
+verify2:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -8,27 +8,52 @@
 //	kbbench -exp all                 # every experiment, paper scale
 //	kbbench -exp fig2                # Figure 2 (a)-(d), Durum Wheat v1+v2
 //	kbbench -exp fig5c -scale 0.25   # quarter-scale Figure 5(c)
+//	kbbench -exp fig3 -metrics m.json -trace t.jsonl   # with observability
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"kbrepair/internal/durum"
 	"kbrepair/internal/exp"
+	"kbrepair/internal/obs"
 )
 
 func main() {
 	var (
-		which = flag.String("exp", "all", "experiment: fig2 | fig3 | fig4a | fig4b | fig5a | fig5b | fig5c | usermodel | ablation | all")
-		scale = flag.Float64("scale", 1.0, "workload scale factor (sizes multiplied by this)")
-		reps  = flag.Int("reps", 0, "override repetition count (0 = paper value)")
-		seed  = flag.Int64("seed", 1, "base random seed")
+		which   = flag.String("exp", "all", "experiment: fig2 | fig3 | fig4a | fig4b | fig5a | fig5b | fig5c | usermodel | ablation | all")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor (sizes multiplied by this)")
+		reps    = flag.Int("reps", 0, "override repetition count (0 = paper value)")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		metrics = flag.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
+		trace   = flag.String("trace", "", "stream a JSON-lines execution trace to this file")
+		pprof   = flag.String("pprof", "", "serve pprof/expvar debug handlers on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
-	if err := run(*which, *scale, *reps, *seed); err != nil {
+	obsCfg := obs.CLIConfig{MetricsPath: *metrics, TracePath: *trace, PprofAddr: *pprof}
+	flush, err := obs.SetupCLI(obsCfg)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "kbbench:", err)
+		os.Exit(1)
+	}
+
+	out := bufio.NewWriter(os.Stdout)
+	runErr := run(out, *which, *scale, *reps, *seed)
+	if runErr == nil && obsCfg.Enabled() {
+		exp.WriteMetrics(out, obs.Default().Snapshot())
+	}
+	if err := out.Flush(); err != nil && runErr == nil {
+		runErr = fmt.Errorf("writing output: %w", err)
+	}
+	if err := flush(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "kbbench:", runErr)
 		os.Exit(1)
 	}
 }
@@ -48,9 +73,8 @@ func pickReps(def, override int) int {
 	return def
 }
 
-func run(which string, scale float64, reps int, seed int64) error {
+func run(out io.Writer, which string, scale float64, reps int, seed int64) error {
 	runAll := which == "all"
-	out := os.Stdout
 	ran := false
 
 	if runAll || which == "fig2" {

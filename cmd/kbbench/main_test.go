@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"errors"
+	"io"
+	"testing"
+)
 
 func TestScaleInt(t *testing.T) {
 	if scaleInt(1000, 0.5) != 500 {
@@ -18,8 +22,26 @@ func TestPickReps(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("nope", 1, 1, 1); err == nil {
+	if err := run(io.Discard, "nope", 1, 1, 1); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// failWriter simulates an unwritable output stream (e.g. a closed pipe or a
+// full disk); run must surface the experiment's work regardless, and main
+// surfaces the flush error.
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestRunSurvivesFailingWriter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	// The experiment itself must not panic or deadlock when every write
+	// fails; errors are reported by the buffered writer's Flush in main.
+	if err := run(failWriter{}, "fig4a", 0.02, 1, 1); err != nil {
+		t.Errorf("run with failing writer: %v", err)
 	}
 }
 
@@ -29,7 +51,7 @@ func TestRunTinyExperiments(t *testing.T) {
 		t.Skip("slow")
 	}
 	for _, exp := range []string{"fig3", "fig4a", "fig4b", "fig5a", "fig5b", "fig5c", "usermodel"} {
-		if err := run(exp, 0.02, 1, 1); err != nil {
+		if err := run(io.Discard, exp, 0.02, 1, 1); err != nil {
 			t.Errorf("%s: %v", exp, err)
 		}
 	}

@@ -9,8 +9,10 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -29,64 +31,69 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*kbPath, *listConflicts, *explain); err != nil {
-		fmt.Fprintln(os.Stderr, "kbcheck:", err)
+	out := bufio.NewWriter(os.Stdout)
+	runErr := run(out, *kbPath, *listConflicts, *explain)
+	if err := out.Flush(); err != nil && runErr == nil {
+		runErr = fmt.Errorf("writing output: %w", err)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "kbcheck:", runErr)
 		os.Exit(1)
 	}
 }
 
-func run(kbPath string, listConflicts, explain bool) error {
+func run(w io.Writer, kbPath string, listConflicts, explain bool) error {
 	kb, err := kbrepair.LoadKB(kbPath)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s: %d facts, %d TGDs, %d CDDs\n", kbPath, kb.Facts.Len(), len(kb.TGDs), len(kb.CDDs))
-	fmt.Printf("TGDs weakly acyclic: %v\n", kbrepair.IsWeaklyAcyclic(kb.TGDs))
+	fmt.Fprintf(w, "%s: %d facts, %d TGDs, %d CDDs\n", kbPath, kb.Facts.Len(), len(kb.TGDs), len(kb.CDDs))
+	fmt.Fprintf(w, "TGDs weakly acyclic: %v\n", kbrepair.IsWeaklyAcyclic(kb.TGDs))
 	compatible, err := kb.RulesCompatible()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("TGDs compatible with CDDs: %v\n", compatible)
+	fmt.Fprintf(w, "TGDs compatible with CDDs: %v\n", compatible)
 
 	info, err := kbrepair.DescribeKB(kb)
 	if err != nil {
 		return err
 	}
-	exp.WriteInfoTable(os.Stdout, kbPath, info)
+	exp.WriteInfoTable(w, kbPath, info)
 
 	ok, err := kb.IsConsistent()
 	if err != nil {
 		return err
 	}
 	if ok {
-		fmt.Println("consistent: yes")
+		fmt.Fprintln(w, "consistent: yes")
 		return nil
 	}
-	fmt.Println("consistent: NO")
+	fmt.Fprintln(w, "consistent: NO")
 	if listConflicts {
 		conflicts, res, err := kb.AllConflicts()
 		if err != nil {
 			return err
 		}
 		for i, c := range conflicts {
-			fmt.Printf("conflict %d: %s with %s\n", i+1, c.CDD, c.Hom)
+			fmt.Fprintf(w, "conflict %d: %s with %s\n", i+1, c.CDD, c.Hom)
 			for _, f := range c.BaseFacts {
 				marker := " "
 				if !c.Direct {
 					marker = "*" // conflict discovered through the chase
 				}
-				fmt.Printf("  %s %s\n", marker, res.Store.FactRef(f))
+				fmt.Fprintf(w, "  %s %s\n", marker, res.Store.FactRef(f))
 			}
 			if explain && !c.Direct {
-				fmt.Println("  derivations of the violating atoms:")
+				fmt.Fprintln(w, "  derivations of the violating atoms:")
 				for _, f := range c.Facts {
 					for _, line := range strings.Split(strings.TrimRight(res.Explain(f), "\n"), "\n") {
-						fmt.Printf("    %s\n", line)
+						fmt.Fprintf(w, "    %s\n", line)
 					}
 				}
 			}
 		}
-		fmt.Println("(* = conflict involves chase-derived facts; listed atoms are the base support)")
+		fmt.Fprintln(w, "(* = conflict involves chase-derived facts; listed atoms are the base support)")
 	}
 	return nil
 }

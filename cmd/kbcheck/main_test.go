@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bufio"
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -21,7 +24,7 @@ prescribed(Aspirin, John).
 hasAllergy(John, Aspirin).
 [cdd] prescribed(X, Y), hasAllergy(Y, X) -> !.
 `)
-	if err := run(path, true, true); err != nil {
+	if err := run(io.Discard, path, true, true); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -31,7 +34,7 @@ func TestRunConsistentKB(t *testing.T) {
 prescribed(Aspirin, John).
 [cdd] prescribed(X, Y), hasAllergy(Y, X) -> !.
 `)
-	if err := run(path, false, false); err != nil {
+	if err := run(io.Discard, path, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -43,20 +46,41 @@ r(a).
 [tgd] p(X) -> q(X).
 [cdd] q(X), r(X) -> !.
 `)
-	if err := run(path, true, true); err != nil {
+	if err := run(io.Discard, path, true, true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMissingFile(t *testing.T) {
-	if err := run(filepath.Join(t.TempDir(), "nope.kb"), false, false); err == nil {
+	if err := run(io.Discard, filepath.Join(t.TempDir(), "nope.kb"), false, false); err == nil {
 		t.Error("missing file accepted")
 	}
 }
 
 func TestRunBadSyntax(t *testing.T) {
 	path := writeKB(t, "p(a")
-	if err := run(path, false, false); err == nil {
+	if err := run(io.Discard, path, false, false); err == nil {
 		t.Error("bad syntax accepted")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("disk full") }
+
+// Output write failures surface through the buffered writer's Flush in
+// main; run itself must complete its analysis regardless.
+func TestFailingOutputSurfacesAtFlush(t *testing.T) {
+	path := writeKB(t, `
+prescribed(Aspirin, John).
+hasAllergy(John, Aspirin).
+[cdd] prescribed(X, Y), hasAllergy(Y, X) -> !.
+`)
+	out := bufio.NewWriterSize(failWriter{}, 16)
+	if err := run(out, path, true, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := out.Flush(); err == nil {
+		t.Error("flush on failing writer reported no error")
 	}
 }

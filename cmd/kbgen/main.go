@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"kbrepair"
@@ -31,13 +32,16 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress the characteristics report")
 	)
 	flag.Parse()
-	if err := run(*facts, *ratio, *cdds, *tgds, *depth, *joinVar, *preds, *seed, *durumVer, *outPath, *quiet); err != nil {
+	if err := run(os.Stdout, *facts, *ratio, *cdds, *tgds, *depth, *joinVar, *preds, *seed, *durumVer, *outPath, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "kbgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(facts int, ratio float64, cdds, tgds, depth int, joinVar float64, preds int, seed int64, durumVer int, outPath string, quiet bool) error {
+// run generates the KB and writes it to outPath, or to w when outPath is
+// empty. Write errors (closed pipe, full disk, unwritable path) are
+// returned so main exits non-zero.
+func run(w io.Writer, facts int, ratio float64, cdds, tgds, depth int, joinVar float64, preds int, seed int64, durumVer int, outPath string, quiet bool) error {
 	var (
 		kb   *kbrepair.KB
 		info kbrepair.SynthInfo
@@ -62,7 +66,9 @@ func run(facts int, ratio float64, cdds, tgds, depth int, joinVar float64, preds
 	}
 	text := kbrepair.FormatKB(kb)
 	if outPath == "" {
-		fmt.Print(text)
+		if _, err := io.WriteString(w, text); err != nil {
+			return fmt.Errorf("writing output: %w", err)
+		}
 	} else if err := os.WriteFile(outPath, []byte(text), 0o644); err != nil {
 		return err
 	}

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,7 +11,7 @@ import (
 
 func TestRunSynthetic(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "synth.kb")
-	err := run(60, 0.2, 6, 0, 0, 0.3, 8, 3, 0, out, true)
+	err := run(io.Discard, 60, 0.2, 6, 0, 0, 0.3, 8, 3, 0, out, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,7 +26,7 @@ func TestRunSynthetic(t *testing.T) {
 
 func TestRunWithTGDs(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "mixed.kb")
-	if err := run(50, 0.2, 5, 4, 2, 0.3, 8, 3, 0, out, true); err != nil {
+	if err := run(io.Discard, 50, 0.2, 5, 4, 2, 0.3, 8, 3, 0, out, true); err != nil {
 		t.Fatal(err)
 	}
 	data, _ := os.ReadFile(out)
@@ -35,7 +37,7 @@ func TestRunWithTGDs(t *testing.T) {
 
 func TestRunDurum(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "durum.kb")
-	if err := run(0, 0, 0, 0, 0, 0, 0, 0, 1, out, true); err != nil {
+	if err := run(io.Discard, 0, 0, 0, 0, 0, 0, 0, 0, 1, out, true); err != nil {
 		t.Fatal(err)
 	}
 	info, err := os.Stat(out)
@@ -47,11 +49,28 @@ func TestRunDurum(t *testing.T) {
 	}
 }
 
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestRunUnwritableOut(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "no", "such", "dir", "synth.kb")
+	if err := run(io.Discard, 60, 0.2, 6, 0, 0, 0.3, 8, 3, 0, out, true); err == nil {
+		t.Error("unwritable -out path accepted")
+	}
+}
+
+func TestRunFailingStdout(t *testing.T) {
+	if err := run(failWriter{}, 60, 0.2, 6, 0, 0, 0.3, 8, 3, 0, "", true); err == nil {
+		t.Error("failing stdout writer accepted")
+	}
+}
+
 func TestRunInvalidParams(t *testing.T) {
-	if err := run(50, 2.5, 5, 0, 0, 0.3, 8, 3, 0, "", true); err == nil {
+	if err := run(io.Discard, 50, 2.5, 5, 0, 0, 0.3, 8, 3, 0, "", true); err == nil {
 		t.Error("invalid ratio accepted")
 	}
-	if err := run(0, 0, 0, 0, 0, 0, 0, 0, 9, "", true); err == nil {
+	if err := run(io.Discard, 0, 0, 0, 0, 0, 0, 0, 0, 9, "", true); err == nil {
 		t.Error("invalid durum version accepted")
 	}
 }

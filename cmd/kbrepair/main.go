@@ -9,6 +9,7 @@
 //	kbrepair -kb medical.kb -auto -seed 7        # simulated user
 //	kbrepair -kb medical.kb -oracle repaired.kb  # oracle user (§4.1)
 //	kbrepair -kb medical.kb -auto -out fixed.kb  # write the repair
+//	kbrepair -kb medical.kb -auto -metrics m.json -trace t.jsonl
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"kbrepair"
 	"kbrepair/internal/core"
 	"kbrepair/internal/inquiry"
+	"kbrepair/internal/obs"
 )
 
 func main() {
@@ -36,14 +38,26 @@ func main() {
 		maxValues = flag.Int("max-values", 0, "cap candidate values per position (0 = unlimited)")
 		journal   = flag.String("journal", "", "record the session (questions and answers) to this JSON file")
 		replay    = flag.String("replay", "", "answer questions by replaying a recorded session file")
+		metrics   = flag.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
+		trace     = flag.String("trace", "", "stream a JSON-lines execution trace to this file")
+		pprof     = flag.String("pprof", "", "serve pprof/expvar debug handlers on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if *kbPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*kbPath, *stratName, *auto, *oracleKB, *seed, *outPath, *basic, *maxValues, *journal, *replay); err != nil {
+	flush, err := obs.SetupCLI(obs.CLIConfig{MetricsPath: *metrics, TracePath: *trace, PprofAddr: *pprof})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "kbrepair:", err)
+		os.Exit(1)
+	}
+	runErr := run(*kbPath, *stratName, *auto, *oracleKB, *seed, *outPath, *basic, *maxValues, *journal, *replay)
+	if err := flush(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "kbrepair:", runErr)
 		os.Exit(1)
 	}
 }

@@ -88,6 +88,22 @@ func TestRunOracleSizeMismatch(t *testing.T) {
 	}
 }
 
+func TestRunUnwritableOut(t *testing.T) {
+	in := writeKB(t, inconsistentKB)
+	out := filepath.Join(t.TempDir(), "no", "such", "dir", "fixed.kb")
+	if err := run(in, "opti-mcd", true, "", 3, out, false, 0, "", ""); err == nil {
+		t.Error("unwritable -out path accepted")
+	}
+}
+
+func TestRunUnwritableJournal(t *testing.T) {
+	in := writeKB(t, inconsistentKB)
+	journal := filepath.Join(t.TempDir(), "no", "such", "dir", "session.json")
+	if err := run(in, "opti-mcd", true, "", 3, "", false, 0, journal, ""); err == nil {
+		t.Error("unwritable -journal path accepted")
+	}
+}
+
 func TestRunUnknownStrategy(t *testing.T) {
 	in := writeKB(t, inconsistentKB)
 	if err := run(in, "nope", true, "", 1, "", false, 0, "", ""); err == nil {

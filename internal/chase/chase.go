@@ -11,7 +11,21 @@ import (
 
 	"kbrepair/internal/homo"
 	"kbrepair/internal/logic"
+	"kbrepair/internal/obs"
 	"kbrepair/internal/store"
+)
+
+// Pipeline instrumentation (see README "Observability" for the inventory).
+// Counters are always-on atomic adds; the run-latency histogram only costs
+// a clock read when obs timing is enabled.
+var (
+	mRuns     = obs.NewCounter("chase.runs")
+	mRounds   = obs.NewCounter("chase.rounds")
+	mTriggers = obs.NewCounter("chase.trigger_checks")
+	mFirings  = obs.NewCounter("chase.rule_firings")
+	mDerived  = obs.NewCounter("chase.facts_derived")
+	mNulls    = obs.NewCounter("chase.nulls_invented")
+	mRunTime  = obs.NewHistogram("chase.run_seconds", obs.LatencyBuckets)
 )
 
 // ErrBudget is returned when the chase exceeds its safety budget. On a
@@ -139,6 +153,24 @@ func Run(base *store.Store, tgds []*logic.TGD, opts Options) (*Result, error) {
 // run is the shared engine. If abortPred is non-empty, the chase stops as
 // soon as a fact with that predicate is derived (used by the ⊥ optimization).
 func run(base *store.Store, tgds []*logic.TGD, opts Options, abortPred string) (*Result, error) {
+	mRuns.Inc()
+	tm := obs.StartTimer()
+	defer mRunTime.Since(tm)
+	if obs.Tracing() {
+		sp := obs.StartSpan("chase.run",
+			obs.Int("base_facts", base.Len()), obs.Int("tgds", len(tgds)))
+		res, err := chaseLoop(base, tgds, opts, abortPred)
+		if res != nil {
+			sp.End(obs.Int("rounds", res.Rounds), obs.Int("derived", len(res.Prov)))
+		} else {
+			sp.End()
+		}
+		return res, err
+	}
+	return chaseLoop(base, tgds, opts, abortPred)
+}
+
+func chaseLoop(base *store.Store, tgds []*logic.TGD, opts Options, abortPred string) (*Result, error) {
 	res := &Result{
 		Store:   base.Clone(),
 		BaseLen: base.Len(),
@@ -156,6 +188,7 @@ func run(base *store.Store, tgds []*logic.TGD, opts Options, abortPred string) (
 
 	for len(delta) > 0 {
 		res.Rounds++
+		mRounds.Inc()
 		if res.Rounds > opts.maxRounds() {
 			return res, fmt.Errorf("%w: more than %d rounds", ErrBudget, opts.maxRounds())
 		}
@@ -219,6 +252,7 @@ func collectTriggers(s *store.Store, rule *logic.TGD, all bool, deltaSet map[sto
 // with existential variables replaced by fresh nulls — and returns the new
 // fact ids in head-atom order.
 func fire(s *store.Store, rule *logic.TGD, m homo.Match, budget int) (bool, []store.FactID, error) {
+	mTriggers.Inc()
 	frontier := m.Subst.Restrict(rule.FrontierVars())
 	if homo.ExistsSeeded(s, rule.Head, frontier) {
 		return false, nil, nil
@@ -226,8 +260,11 @@ func fire(s *store.Store, rule *logic.TGD, m homo.Match, budget int) (bool, []st
 	if budget < len(rule.Head) {
 		return false, nil, ErrBudget
 	}
+	mFirings.Inc()
 	inst := frontier.Clone()
-	for _, z := range rule.ExistentialVars() {
+	existential := rule.ExistentialVars()
+	mNulls.Add(int64(len(existential)))
+	for _, z := range existential {
 		inst[z] = s.FreshNull()
 	}
 	ids := make([]store.FactID, len(rule.Head))
@@ -239,6 +276,7 @@ func fire(s *store.Store, rule *logic.TGD, m homo.Match, budget int) (bool, []st
 		}
 		ids[i] = id
 	}
+	mDerived.Add(int64(len(ids)))
 	return true, ids, nil
 }
 

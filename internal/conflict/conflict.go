@@ -18,7 +18,19 @@ import (
 	"kbrepair/internal/chase"
 	"kbrepair/internal/homo"
 	"kbrepair/internal/logic"
+	"kbrepair/internal/obs"
 	"kbrepair/internal/store"
+)
+
+// Detection and hypergraph-maintenance instrumentation.
+var (
+	mScans      = obs.NewCounter("conflict.scans")
+	mFound      = obs.NewCounter("conflict.conflicts_found")
+	mDetectTime = obs.NewHistogram("conflict.detect_seconds", obs.LatencyBuckets)
+	mEdgeAdd    = obs.NewCounter("conflict.hyperedges_added")
+	mEdgeDel    = obs.NewCounter("conflict.hyperedges_removed")
+	mUpdates    = obs.NewCounter("conflict.tracker_updates")
+	mUpdateTime = obs.NewHistogram("conflict.update_seconds", obs.LatencyBuckets)
 )
 
 // Conflict is one violation of one CDD.
@@ -128,6 +140,9 @@ func dedupIDs(ids []store.FactID) []store.FactID {
 // AllNaive computes allconflicts_naive(K): every homomorphism from every
 // CDD body into the base store, deduplicated by (CDD, homomorphism).
 func AllNaive(base *store.Store, cdds []*logic.CDD) []*Conflict {
+	mScans.Inc()
+	tm := obs.StartTimer()
+	defer mDetectTime.Since(tm)
 	var out []*Conflict
 	seen := make(map[string]bool)
 	for idx, c := range cdds {
@@ -149,6 +164,7 @@ func AllNaive(base *store.Store, cdds []*logic.CDD) []*Conflict {
 			return true
 		})
 	}
+	mFound.Add(int64(len(out)))
 	return out
 }
 
@@ -159,6 +175,9 @@ func AllNaive(base *store.Store, cdds []*logic.CDD) []*Conflict {
 // homomorphism). It returns the conflicts together with the chase result
 // they were evaluated on.
 func All(base *store.Store, tgds []*logic.TGD, cdds []*logic.CDD, opts chase.Options) ([]*Conflict, *chase.Result, error) {
+	mScans.Inc()
+	tm := obs.StartTimer()
+	defer mDetectTime.Since(tm)
 	tgds = chase.RelevantTGDs(tgds, cdds)
 	res, err := chase.Run(base, tgds, opts)
 	if err != nil {
@@ -192,6 +211,7 @@ func All(base *store.Store, tgds []*logic.TGD, cdds []*logic.CDD, opts chase.Opt
 			return true
 		})
 	}
+	mFound.Add(int64(len(out)))
 	return out, res, nil
 }
 

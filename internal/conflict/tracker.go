@@ -3,6 +3,7 @@ package conflict
 import (
 	"kbrepair/internal/homo"
 	"kbrepair/internal/logic"
+	"kbrepair/internal/obs"
 	"kbrepair/internal/store"
 )
 
@@ -53,6 +54,7 @@ func (t *Tracker) add(c *Conflict) {
 	if _, dup := t.conflicts[k]; dup {
 		return
 	}
+	mEdgeAdd.Inc()
 	t.conflicts[k] = c
 	for _, f := range c.BaseFacts {
 		m := t.byFact[f]
@@ -69,6 +71,7 @@ func (t *Tracker) remove(key string) {
 	if !ok {
 		return
 	}
+	mEdgeDel.Inc()
 	delete(t.conflicts, key)
 	for _, f := range c.BaseFacts {
 		if m := t.byFact[f]; m != nil {
@@ -85,6 +88,9 @@ func (t *Tracker) remove(key string) {
 // the fact are dropped, then every CDD related to the fact's (new) atom is
 // re-evaluated with one body atom pinned onto the fact.
 func (t *Tracker) Update(id store.FactID) {
+	mUpdates.Inc()
+	tm := obs.StartTimer()
+	defer mUpdateTime.Since(tm)
 	for k := range t.byFact[id] {
 		t.remove(k)
 	}

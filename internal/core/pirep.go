@@ -5,7 +5,19 @@ import (
 
 	"kbrepair/internal/chase"
 	"kbrepair/internal/logic"
+	"kbrepair/internal/obs"
 	"kbrepair/internal/store"
+)
+
+// Π-repairability instrumentation: how question filtering splits between
+// the Π-RepOpt fast path and full Algorithm 1 runs, and what the full runs
+// cost. The PiChecker's own FastHits/FullChecks fields remain the
+// per-session view used by the ablation tables.
+var (
+	mPiFast      = obs.NewCounter("core.pi_fast_hits")
+	mPiFull      = obs.NewCounter("core.pi_full_checks")
+	mPiCheckTime = obs.NewHistogram("core.pi_check_seconds", obs.LatencyBuckets)
+	mCFixChecks  = obs.NewCounter("core.cfix_checks")
 )
 
 // Position aliases store.Position; it is re-exported here because the core
@@ -151,10 +163,12 @@ func (pc *PiChecker) CheckBatch(pi Pi, fixes []Fix) ([]bool, error) {
 	for i, f := range fixes {
 		if pc.Optimized && pc.fastSafe(pi, f) {
 			pc.FastHits++
+			mPiFast.Inc()
 			out[i] = true
 			continue
 		}
 		pc.FullChecks++
+		mPiFull.Inc()
 		if f.Pos.Arg < 0 || !pc.kb.Facts.Valid(f.Pos.Fact) || f.Pos.Arg >= pc.kb.Facts.Arity(f.Pos.Fact) {
 			return nil, fmt.Errorf("pirep: position %s out of range", f.Pos)
 		}
@@ -167,7 +181,9 @@ func (pc *PiChecker) CheckBatch(pi Pi, fixes []Fix) ([]bool, error) {
 		// SOUNDQUESTION call, and if it were inside, setting it below
 		// still realizes the hypothetical update.)
 		prev := nulled.MustSetValue(f.Pos, f.Value)
+		tm := obs.StartTimer()
 		ok, err := chase.IsConsistentOpt(nulled, pc.kb.TGDs, pc.kb.CDDs, pc.kb.ChaseOpts)
+		mPiCheckTime.Since(tm)
 		nulled.MustSetValue(f.Pos, prev)
 		if err != nil {
 			return nil, err

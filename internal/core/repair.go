@@ -9,6 +9,7 @@ import (
 // IsCFix reports whether P is a consistent fix set (c-fix, Def. 3.4): the
 // update apply(F, P) yields a consistent KB.
 func IsCFix(kb *KB, fs FixSet) (bool, error) {
+	mCFixChecks.Inc()
 	if err := fs.Validate(); err != nil {
 		return false, err
 	}

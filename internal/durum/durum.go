@@ -21,8 +21,14 @@ import (
 
 	"kbrepair/internal/core"
 	"kbrepair/internal/logic"
+	"kbrepair/internal/obs"
 	"kbrepair/internal/store"
 	"kbrepair/internal/synth"
+)
+
+var (
+	mBuilds    = obs.NewCounter("durum.builds")
+	mBuildTime = obs.NewHistogram("durum.build_seconds", obs.LatencyBuckets)
 )
 
 // Version selects the CDD set size.
@@ -70,6 +76,9 @@ func Build(v Version) (*core.KB, synth.Info, error) {
 	if v != V1 && v != V2 {
 		return nil, synth.Info{}, fmt.Errorf("durum: unknown version %d", v)
 	}
+	mBuilds.Inc()
+	tm := obs.StartTimer()
+	defer mBuildTime.Since(tm)
 	tgds := buildTGDs()
 	cdds := buildCDDs(v)
 	st := buildFacts()

@@ -3,8 +3,10 @@ package exp
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
+	"kbrepair/internal/obs"
 	"kbrepair/internal/synth"
 )
 
@@ -81,6 +83,41 @@ func WriteDelays(w io.Writer, label string, points []DelayPoint) {
 		s := p.Summary
 		fmt.Fprintf(w, "  %-6s %10.4f %10.4f %10.4f %10.4f %10.4f %10.4f %9d\n",
 			p.Label, s.Mean, s.Median, s.Q1, s.Q3, s.Min, s.Max, len(s.Outliers))
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteMetrics renders an observability snapshot as a report section:
+// counters and gauges sorted by name, histograms as five-number summaries
+// estimated from the buckets (stats.FromHistogram).
+func WriteMetrics(w io.Writer, snap obs.Snapshot) {
+	fmt.Fprintln(w, "== Metrics snapshot ==")
+	names := make([]string, 0, len(snap.Counters))
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "  %-36s %12d\n", n, snap.Counters[n])
+	}
+	names = names[:0]
+	for n := range snap.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "  %-36s %12d (gauge)\n", n, snap.Gauges[n])
+	}
+	names = names[:0]
+	for n := range snap.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := snap.Histograms[n]
+		s := h.Summary()
+		fmt.Fprintf(w, "  %-36s n=%d mean=%.3gs median=%.3gs q1=%.3gs q3=%.3gs min=%.3gs max=%.3gs\n",
+			n, s.N, s.Mean, s.Median, s.Q1, s.Q3, s.Min, s.Max)
 	}
 	fmt.Fprintln(w)
 }

@@ -11,7 +11,18 @@ package homo
 
 import (
 	"kbrepair/internal/logic"
+	"kbrepair/internal/obs"
 	"kbrepair/internal/store"
+)
+
+// Search instrumentation. Node and probe counts accumulate in the search
+// state and flush to the striped counters once per search, keeping the
+// per-node overhead at plain integer increments.
+var (
+	mSearches = obs.NewCounter("homo.searches")
+	mNodes    = obs.NewCounter("homo.backtrack_nodes")
+	mProbes   = obs.NewCounter("homo.index_probes")
+	mTime     = obs.NewHistogram("homo.match_seconds", obs.LatencyBuckets)
 )
 
 // Match is one homomorphism: the variable bindings plus, for each body atom
@@ -85,12 +96,15 @@ func ForEach(s *store.Store, body []logic.Atom, fn func(Match) bool) {
 // ForEachSeeded is ForEach with an initial partial substitution: only
 // homomorphisms extending seed are enumerated. seed may be nil.
 func ForEachSeeded(s *store.Store, body []logic.Atom, seed logic.Subst, fn func(Match) bool) {
+	mSearches.Inc()
+	tm := obs.StartTimer()
 	if len(body) == 0 {
 		sub := seed
 		if sub == nil {
 			sub = logic.NewSubst()
 		}
 		fn(Match{Subst: sub, Facts: nil})
+		mTime.Since(tm)
 		return
 	}
 	st := &search{
@@ -105,6 +119,9 @@ func ForEachSeeded(s *store.Store, body []logic.Atom, seed logic.Subst, fn func(
 		st.sub[v] = t
 	}
 	st.run(0)
+	mNodes.Add(st.nodes)
+	mProbes.Add(st.probes)
+	mTime.Since(tm)
 }
 
 type search struct {
@@ -115,6 +132,8 @@ type search struct {
 	done    []bool
 	fn      func(Match) bool
 	stopped bool
+	nodes   int64 // backtrack nodes visited (run invocations)
+	probes  int64 // store index consultations
 }
 
 // run matches the remaining len(body)-depth atoms; returns after exploring
@@ -123,6 +142,7 @@ func (st *search) run(depth int) {
 	if st.stopped {
 		return
 	}
+	st.nodes++
 	if depth == len(st.body) {
 		if !st.fn(Match{Subst: st.sub, Facts: st.facts}) {
 			st.stopped = true
@@ -175,12 +195,14 @@ func (st *search) pickAtom() (int, []store.FactID) {
 // current substitution. The returned slice belongs to the store's index and
 // must not be mutated.
 func (st *search) candidates(a logic.Atom) []store.FactID {
+	st.probes++
 	best := st.store.CandidatesByPred(a.Pred)
 	for i, t := range a.Args {
 		g := st.sub.Lookup(t)
 		if !g.IsGround() {
 			continue
 		}
+		st.probes++
 		c := st.store.Candidates(a.Pred, i, g)
 		if len(c) < len(best) {
 			best = c

@@ -8,6 +8,18 @@ import (
 
 	"kbrepair/internal/conflict"
 	"kbrepair/internal/core"
+	"kbrepair/internal/obs"
+)
+
+// Dialogue instrumentation. The per-question delay histogram carries the
+// same quantity as Round.Delay / stats.Summarize over Result.Delays(), so a
+// metrics snapshot can be reconciled against the experiment tables.
+var (
+	mInqRuns   = obs.NewCounter("inquiry.runs")
+	mQuestions = obs.NewCounter("inquiry.questions")
+	mPhase1    = obs.NewCounter("inquiry.phase1_rounds")
+	mPhase2    = obs.NewCounter("inquiry.phase2_rounds")
+	hDelay     = obs.NewHistogram("inquiry.question_delay_seconds", obs.LatencyBuckets)
 )
 
 // Options tune an inquiry run.
@@ -201,6 +213,20 @@ func (e *Engine) ask(cs []*conflict.Conflict, x *conflict.Conflict, phase int) (
 	}
 	q := Question{Conflict: x, Fixes: fixes, Phase: phase}
 	delay := time.Since(t0)
+	mQuestions.Inc()
+	hDelay.Observe(delay.Seconds())
+	if phase == 1 {
+		mPhase1.Inc()
+	} else {
+		mPhase2.Inc()
+	}
+	if obs.Tracing() {
+		obs.Emit("inquiry.question",
+			obs.Int("phase", phase),
+			obs.Int("fixes", len(fixes)),
+			obs.Int("conflicts", len(cs)),
+			obs.Int64("delay_us", delay.Microseconds()))
+	}
 	f, err := e.User.Choose(e.KB, q)
 	if err != nil {
 		return nil, Round{}, fmt.Errorf("user failed on question with %d fixes: %w", len(fixes), err)
@@ -230,6 +256,7 @@ func (e *Engine) Run() (*Result, error) {
 	if e.User == nil {
 		return nil, errors.New("inquiry: nil user")
 	}
+	mInqRuns.Inc()
 	start := time.Now()
 	res := &Result{Strategy: e.Strategy.Name(), InitialTotal: -1}
 
@@ -324,6 +351,7 @@ func (e *Engine) RunBasic() (*Result, error) {
 	if e.User == nil {
 		return nil, errors.New("inquiry: nil user")
 	}
+	mInqRuns.Inc()
 	start := time.Now()
 	res := &Result{Strategy: "basic"}
 	res.InitialNaive = len(conflict.AllNaive(e.KB.Facts, e.KB.CDDs))
@@ -352,6 +380,9 @@ func (e *Engine) RunBasic() (*Result, error) {
 		}
 		q := Question{Conflict: x, Fixes: fixes, Phase: 1}
 		delay := time.Since(t0)
+		mQuestions.Inc()
+		mPhase1.Inc()
+		hDelay.Observe(delay.Seconds())
 		f, err := e.User.Choose(e.KB, q)
 		if err != nil {
 			return res, err

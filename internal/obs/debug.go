@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the expvar registration: expvar.Publish panics on a
+// duplicate name, and tests may wire the debug server more than once.
+var publishOnce sync.Once
+
+// PublishExpvar exposes the default registry's snapshot as the expvar
+// variable "kbrepair" (visible at /debug/vars on the debug server).
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("kbrepair", expvar.Func(func() any {
+			return Default().Snapshot()
+		}))
+	})
+}
+
+// ServeDebug starts an HTTP server on addr exposing the pprof handlers
+// (/debug/pprof/...) and expvar (/debug/vars, including the metrics
+// snapshot via PublishExpvar). It listens synchronously — so an unusable
+// address fails fast — then serves in a goroutine, and returns the bound
+// address (useful with ":0").
+func ServeDebug(addr string) (string, error) {
+	PublishExpvar()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	go func() {
+		// The server lives for the process; Serve only returns on listener
+		// close, and the CLIs never close it.
+		_ = http.Serve(ln, mux)
+	}()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+)
+
+// CLIConfig is the observability surface the CLIs expose as flags.
+type CLIConfig struct {
+	// MetricsPath, when non-empty, enables latency timing and writes a
+	// JSON snapshot of the default registry there at Flush time.
+	MetricsPath string
+	// TracePath, when non-empty, enables timing and streams a JSON-lines
+	// trace of the default tracer there.
+	TracePath string
+	// PprofAddr, when non-empty, serves pprof/expvar debug handlers on the
+	// address.
+	PprofAddr string
+}
+
+// Enabled reports whether any observability output was requested.
+func (c CLIConfig) Enabled() bool {
+	return c.MetricsPath != "" || c.TracePath != "" || c.PprofAddr != ""
+}
+
+// SetupCLI wires the requested observability outputs and returns a flush
+// function to be called once on exit. Output files are created eagerly so
+// an unwritable path fails before any work is done, with a clear error and
+// a non-zero exit in the CLIs. The flush writes the metrics snapshot,
+// tears down the trace sink, and reports any write error encountered.
+func SetupCLI(c CLIConfig) (flush func() error, err error) {
+	var (
+		metricsFile *os.File
+		traceFile   *os.File
+		traceSink   *JSONLSink
+	)
+	fail := func(err error) (func() error, error) {
+		if metricsFile != nil {
+			metricsFile.Close()
+		}
+		if traceFile != nil {
+			traceFile.Close()
+		}
+		return nil, err
+	}
+
+	if c.MetricsPath != "" {
+		metricsFile, err = os.Create(c.MetricsPath)
+		if err != nil {
+			return fail(fmt.Errorf("metrics output: %w", err))
+		}
+	}
+	if c.TracePath != "" {
+		traceFile, err = os.Create(c.TracePath)
+		if err != nil {
+			return fail(fmt.Errorf("trace output: %w", err))
+		}
+		traceSink = NewJSONLSink(traceFile)
+		SetTraceSink(traceSink)
+	}
+	if c.PprofAddr != "" {
+		if _, err := ServeDebug(c.PprofAddr); err != nil {
+			return fail(fmt.Errorf("pprof server: %w", err))
+		}
+	}
+	if c.MetricsPath != "" || c.TracePath != "" {
+		SetEnabled(true)
+	}
+
+	return func() error {
+		var first error
+		keep := func(err error) {
+			if err != nil && first == nil {
+				first = err
+			}
+		}
+		if traceSink != nil {
+			SetTraceSink(nil)
+			keep(traceSink.Err())
+			if err := traceFile.Close(); err != nil {
+				keep(fmt.Errorf("trace output: %w", err))
+			}
+		}
+		if metricsFile != nil {
+			if err := Default().WriteJSON(metricsFile); err != nil {
+				keep(fmt.Errorf("metrics output: %w", err))
+			}
+			if err := metricsFile.Close(); err != nil {
+				keep(fmt.Errorf("metrics output: %w", err))
+			}
+		}
+		return first
+	}, nil
+}

@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value attribute on a span or event. Values should be
+// JSON-encodable scalars (string, int64, float64, bool).
+type Attr struct {
+	Key string
+	Val any
+}
+
+// Str builds a string attribute.
+func Str(k, v string) Attr { return Attr{Key: k, Val: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Val: int64(v)} }
+
+// Int64 builds an integer attribute.
+func Int64(k string, v int64) Attr { return Attr{Key: k, Val: v} }
+
+// F64 builds a float attribute.
+func F64(k string, v float64) Attr { return Attr{Key: k, Val: v} }
+
+// Bool builds a boolean attribute.
+func Bool(k string, v bool) Attr { return Attr{Key: k, Val: v} }
+
+// Record is one trace entry as handed to sinks: a completed span (emitted
+// at End, with a duration) or a point event. Times are microseconds since
+// the Unix epoch; attribute maps serialize with sorted keys, so a JSONL
+// trace is deterministic given a deterministic clock.
+type Record struct {
+	Type    string         `json:"type"` // "span" | "event"
+	Name    string         `json:"name"`
+	Span    uint64         `json:"span,omitempty"` // span id; 0 for events
+	StartUS int64          `json:"start_us"`
+	DurUS   int64          `json:"dur_us,omitempty"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// Sink consumes trace records. Implementations must be safe for concurrent
+// use.
+type Sink interface {
+	Write(Record)
+}
+
+// Tracer produces spans and events into a sink. A nil sink means tracing
+// is off: StartSpan returns the inert zero Span and Event returns
+// immediately. The clock is injectable for deterministic tests.
+type Tracer struct {
+	sink atomic.Pointer[sinkBox]
+	seq  atomic.Uint64
+
+	mu  sync.Mutex
+	now func() time.Time
+}
+
+type sinkBox struct{ s Sink }
+
+// NewTracer returns a tracer writing to sink (nil for off).
+func NewTracer(sink Sink) *Tracer {
+	t := &Tracer{now: time.Now}
+	t.SetSink(sink)
+	return t
+}
+
+// SetSink swaps the sink; nil turns tracing off.
+func (t *Tracer) SetSink(s Sink) {
+	if s == nil {
+		t.sink.Store(nil)
+		return
+	}
+	t.sink.Store(&sinkBox{s: s})
+}
+
+// SetNow injects a clock (tests); nil restores time.Now.
+func (t *Tracer) SetNow(now func() time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if now == nil {
+		now = time.Now
+	}
+	t.now = now
+}
+
+func (t *Tracer) clock() func() time.Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.now
+}
+
+// Active reports whether a sink is installed.
+func (t *Tracer) Active() bool { return t.sink.Load() != nil }
+
+// Span is an in-progress operation. The zero Span (from a tracer with no
+// sink) is inert; End on it is a no-op.
+type Span struct {
+	tr    *Tracer
+	name  string
+	id    uint64
+	start time.Time
+	attrs []Attr
+}
+
+// StartSpan opens a span. The record is written when End is called, so a
+// sink sees spans in completion order. Callers on hot paths should guard
+// attribute-passing calls behind Tracer.Active (or obs.Tracing) — the
+// variadic slice is built before the call regardless of the sink.
+func (t *Tracer) StartSpan(name string, attrs ...Attr) Span {
+	if t.sink.Load() == nil {
+		return Span{}
+	}
+	return Span{
+		tr:    t,
+		name:  name,
+		id:    t.seq.Add(1),
+		start: t.clock()(),
+		attrs: attrs,
+	}
+}
+
+// End closes the span, appending any extra attributes, and writes its
+// record.
+func (s Span) End(extra ...Attr) {
+	if s.tr == nil {
+		return
+	}
+	box := s.tr.sink.Load()
+	if box == nil {
+		return
+	}
+	end := s.tr.clock()()
+	box.s.Write(Record{
+		Type:    "span",
+		Name:    s.name,
+		Span:    s.id,
+		StartUS: s.start.UnixMicro(),
+		DurUS:   end.Sub(s.start).Microseconds(),
+		Attrs:   attrMap(s.attrs, extra),
+	})
+}
+
+// Event writes a point event.
+func (t *Tracer) Event(name string, attrs ...Attr) {
+	box := t.sink.Load()
+	if box == nil {
+		return
+	}
+	box.s.Write(Record{
+		Type:    "event",
+		Name:    name,
+		StartUS: t.clock()().UnixMicro(),
+		Attrs:   attrMap(attrs, nil),
+	})
+}
+
+func attrMap(a, b []Attr) map[string]any {
+	if len(a)+len(b) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(a)+len(b))
+	for _, x := range a {
+		m[x.Key] = x.Val
+	}
+	for _, x := range b {
+		m[x.Key] = x.Val
+	}
+	return m
+}
+
+// JSONLSink writes one JSON object per record to an io.Writer (the -trace
+// file format). Writes are serialized; the first write error is retained
+// and reported by Err, after which further records are dropped.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink returns a sink encoding records onto w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Write encodes the record as one JSON line.
+func (s *JSONLSink) Write(r Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(r)
+}
+
+// Err returns the first write error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// RingSink keeps the last N records in memory — the test sink, and a cheap
+// always-on flight recorder.
+type RingSink struct {
+	mu    sync.Mutex
+	buf   []Record
+	next  int
+	total uint64
+}
+
+// NewRingSink returns a ring of the given capacity (minimum 1).
+func NewRingSink(capacity int) *RingSink {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RingSink{buf: make([]Record, 0, capacity)}
+}
+
+// Write appends the record, evicting the oldest once full.
+func (s *RingSink) Write(r Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.total++
+	if len(s.buf) < cap(s.buf) {
+		s.buf = append(s.buf, r)
+		return
+	}
+	s.buf[s.next] = r
+	s.next = (s.next + 1) % cap(s.buf)
+}
+
+// Records returns the retained records, oldest first.
+func (s *RingSink) Records() []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, 0, len(s.buf))
+	out = append(out, s.buf[s.next:]...)
+	out = append(out, s.buf[:s.next]...)
+	return out
+}
+
+// Total returns the number of records ever written.
+func (s *RingSink) Total() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fixedClock steps 1ms per reading, giving deterministic timestamps.
+func fixedClock() func() time.Time {
+	t := time.UnixMicro(1_700_000_000_000_000).UTC()
+	return func() time.Time {
+		t = t.Add(time.Millisecond)
+		return t
+	}
+}
+
+// TestJSONLSinkGolden pins the JSON-lines schema and record ordering: spans
+// are emitted at End (completion order), events at call time.
+func TestJSONLSinkGolden(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(NewJSONLSink(&buf))
+	tr.SetNow(fixedClock())
+
+	sp := tr.StartSpan("chase.run", Int("tgds", 3)) // clock tick 1
+	tr.Event("chase.round", Int("round", 1), Int("delta", 5), Str("kb", "synth")) // tick 2
+	inner := tr.StartSpan("homo.search") // tick 3
+	inner.End(Int("nodes", 7))           // tick 4
+	sp.End(Int("rounds", 2))             // tick 5
+
+	got := buf.String()
+	want := strings.Join([]string{
+		`{"type":"event","name":"chase.round","start_us":1700000000002000,"attrs":{"delta":5,"kb":"synth","round":1}}`,
+		`{"type":"span","name":"homo.search","span":2,"start_us":1700000000003000,"dur_us":1000,"attrs":{"nodes":7}}`,
+		`{"type":"span","name":"chase.run","span":1,"start_us":1700000000001000,"dur_us":4000,"attrs":{"rounds":2,"tgds":3}}`,
+	}, "\n") + "\n"
+	if got != want {
+		t.Errorf("trace output mismatch:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+func TestNilSinkIsInert(t *testing.T) {
+	tr := NewTracer(nil)
+	if tr.Active() {
+		t.Fatal("tracer active with nil sink")
+	}
+	sp := tr.StartSpan("x")
+	sp.End()
+	tr.Event("y")
+	// Inert spans must also be allocation-free when no attrs are passed.
+	allocs := testing.AllocsPerRun(1000, func() {
+		s := tr.StartSpan("hot")
+		s.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("inert span allocates: %.1f allocs/op", allocs)
+	}
+}
+
+func TestRingSinkWrapAround(t *testing.T) {
+	s := NewRingSink(3)
+	tr := NewTracer(s)
+	tr.SetNow(fixedClock())
+	for i := 1; i <= 5; i++ {
+		tr.Event("e", Int("i", i))
+	}
+	recs := s.Records()
+	if len(recs) != 3 {
+		t.Fatalf("len = %d, want 3", len(recs))
+	}
+	for i, want := range []int64{3, 4, 5} {
+		if got := recs[i].Attrs["i"].(int64); got != want {
+			t.Errorf("rec %d: i = %v, want %d", i, got, want)
+		}
+	}
+	if s.Total() != 5 {
+		t.Errorf("Total = %d, want 5", s.Total())
+	}
+}
+
+func TestSinkSwapMidSpan(t *testing.T) {
+	ring := NewRingSink(8)
+	tr := NewTracer(ring)
+	sp := tr.StartSpan("long")
+	tr.SetSink(nil)
+	sp.End() // sink gone: dropped, no panic
+	if got := len(ring.Records()); got != 0 {
+		t.Errorf("record written after sink removed: %d", got)
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	addr, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Skipf("cannot listen on localhost: %v", err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatalf("GET /debug/vars: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}

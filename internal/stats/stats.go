@@ -114,6 +114,101 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
+// FromHistogram reconstructs an approximate Summary from fixed-bucket
+// histogram state (the bridge between internal/obs histograms and the
+// paper's boxplot summaries). bounds are the upper bucket edges; counts has
+// one extra overflow entry; sum, min and max are exact aggregates of the
+// underlying samples.
+//
+// Accuracy contract: N, Min, Max are exact and Mean is exact up to float
+// rounding. Quantiles are estimated by assuming samples are uniformly
+// spread inside each bucket (the first and last occupied buckets are
+// clipped to [min, max]), so each quantile is off from the raw-sample
+// value by at most about one bucket width around it — the property test in
+// stats_test.go pins this down. StdDev is not recoverable from buckets and
+// is reported as 0; whiskers are derived from the estimated quartiles and
+// outliers are not enumerated.
+func FromHistogram(bounds []float64, counts []int64, sum, min, max float64) Summary {
+	var n int64
+	for _, c := range counts {
+		n += c
+	}
+	if n == 0 {
+		return Summary{}
+	}
+	s := Summary{
+		N:    int(n),
+		Min:  min,
+		Max:  max,
+		Mean: sum / float64(n),
+	}
+	q := func(p float64) float64 { return histQuantile(bounds, counts, n, min, max, p) }
+	s.Q1, s.Median, s.Q3 = q(0.25), q(0.5), q(0.75)
+	iqr := s.Q3 - s.Q1
+	s.WhiskerLo = math.Max(min, s.Q1-1.5*iqr)
+	s.WhiskerHi = math.Min(max, s.Q3+1.5*iqr)
+	return s
+}
+
+// histQuantile estimates the p-quantile with the same convention as
+// Quantile: linear interpolation between the order statistics flanking
+// rank p·(n−1), each estimated from its bucket by histRank. Since every
+// per-rank estimate stays inside the (clipped) bucket that truly contains
+// that order statistic, the quantile is off by at most the width of the
+// wider of the two buckets involved.
+func histQuantile(bounds []float64, counts []int64, n int64, min, max, p float64) float64 {
+	pos := p * float64(n-1)
+	lo := int64(math.Floor(pos))
+	hi := int64(math.Ceil(pos))
+	vlo := histRank(bounds, counts, min, max, lo)
+	if hi == lo {
+		return vlo
+	}
+	vhi := histRank(bounds, counts, min, max, hi)
+	frac := pos - float64(lo)
+	return vlo*(1-frac) + vhi*frac
+}
+
+// histRank estimates the value of the zero-based r-th order statistic: the
+// bucket holding rank r is located by cumulative count, and the c samples
+// inside it are assumed evenly spread over its value range (upper-edge
+// bounds, clipped to the exact [min, max]).
+func histRank(bounds []float64, counts []int64, min, max float64, r int64) float64 {
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if r < cum+c {
+			blo := min
+			if i > 0 && bounds[i-1] > blo {
+				blo = bounds[i-1]
+			}
+			bhi := max
+			if i < len(bounds) && bounds[i] < bhi {
+				bhi = bounds[i]
+			}
+			if bhi <= blo {
+				return clamp(blo, min, max)
+			}
+			frac := (float64(r-cum) + 0.5) / float64(c)
+			return clamp(blo+frac*(bhi-blo), min, max)
+		}
+		cum += c
+	}
+	return max
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
 // SummarizeDurations converts durations to seconds and summarizes them.
 func SummarizeDurations(ds []time.Duration) Summary {
 	xs := make([]float64, len(ds))

@@ -89,3 +89,88 @@ func TestSummaryInvariants(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// histState buckets samples the way an obs histogram would.
+func histState(bounds []float64, xs []float64) (counts []int64, sum, min, max float64) {
+	counts = make([]int64, len(bounds)+1)
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, v := range xs {
+		i := 0
+		for i < len(bounds) && v > bounds[i] {
+			i++
+		}
+		counts[i]++
+		sum += v
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return counts, sum, min, max
+}
+
+// Property: FromHistogram reconciles with Summarize on the raw samples —
+// count, min, max and mean exactly, each quartile to within one bucket
+// width on either side of the raw value (the documented accuracy of the
+// uniform-within-bucket interpolation).
+func TestFromHistogramReconcilesWithSummarize(t *testing.T) {
+	const width = 0.05
+	var bounds []float64
+	for b := width; b < 1.0-1e-9; b += width {
+		bounds = append(bounds, b)
+	}
+	f := func(seed int64, n uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		xs := make([]float64, int(n)%400+1)
+		for i := range xs {
+			xs[i] = r.Float64()
+		}
+		counts, sum, min, max := histState(bounds, xs)
+		got := FromHistogram(bounds, counts, sum, min, max)
+		want := Summarize(xs)
+		if got.N != want.N || got.Min != want.Min || got.Max != want.Max {
+			t.Logf("seed %d: N/min/max mismatch: got %+v want %+v", seed, got, want)
+			return false
+		}
+		if math.Abs(got.Mean-want.Mean) > 1e-9 {
+			t.Logf("seed %d: mean %v vs %v", seed, got.Mean, want.Mean)
+			return false
+		}
+		const tol = width + 1e-9
+		for _, q := range [][2]float64{{got.Q1, want.Q1}, {got.Median, want.Median}, {got.Q3, want.Q3}} {
+			if math.Abs(q[0]-q[1]) > tol {
+				t.Logf("seed %d n=%d: quantile %v vs %v", seed, len(xs), q[0], q[1])
+				return false
+			}
+		}
+		ordered := got.Min <= got.Q1 && got.Q1 <= got.Median && got.Median <= got.Q3 && got.Q3 <= got.Max
+		if !ordered {
+			t.Logf("seed %d: quartiles out of order: %+v", seed, got)
+		}
+		return ordered
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromHistogramEmpty(t *testing.T) {
+	if s := FromHistogram([]float64{1}, []int64{0, 0}, 0, 0, 0); s.N != 0 {
+		t.Errorf("empty histogram summary: %+v", s)
+	}
+}
+
+// A single sample lands every statistic on that sample.
+func TestFromHistogramSingleSample(t *testing.T) {
+	bounds := []float64{1, 2, 3}
+	counts, sum, min, max := histState(bounds, []float64{2.5})
+	s := FromHistogram(bounds, counts, sum, min, max)
+	if s.N != 1 || s.Min != 2.5 || s.Max != 2.5 || s.Mean != 2.5 {
+		t.Errorf("single-sample summary: %+v", s)
+	}
+	if s.Q1 != 2.5 || s.Median != 2.5 || s.Q3 != 2.5 {
+		t.Errorf("single-sample quartiles: %+v", s)
+	}
+}

@@ -24,6 +24,16 @@ import (
 	"strings"
 
 	"kbrepair/internal/logic"
+	"kbrepair/internal/obs"
+)
+
+// Fact-churn and index-traffic instrumentation. All three sit on hot paths
+// (SetValue runs once per hypothetical fix; Candidates once per join probe),
+// so they are plain striped-counter increments — no gating, no timing.
+var (
+	mFactsAdded   = obs.NewCounter("store.facts_added")
+	mValueUpdates = obs.NewCounter("store.value_updates")
+	mLookups      = obs.NewCounter("store.index_lookups")
 )
 
 // FactID identifies a fact within a Store. IDs are assigned sequentially
@@ -111,6 +121,7 @@ func (s *Store) Add(a logic.Atom) (FactID, error) {
 	if !a.IsGround() {
 		return 0, fmt.Errorf("store: cannot add non-ground atom %s", a)
 	}
+	mFactsAdded.Inc()
 	id := FactID(len(s.facts))
 	s.facts = append(s.facts, a.Clone())
 	s.byPred[a.Pred] = append(s.byPred[a.Pred], id)
@@ -171,6 +182,7 @@ func (s *Store) SetValue(p Position, t logic.Term) (prev logic.Term, err error) 
 	if prev == t {
 		return prev, nil
 	}
+	mValueUpdates.Inc()
 	oldKey := a.Key()
 	s.indexRemove(indexKey{a.Pred, p.Arg, prev}, p.Fact)
 	s.adomRemove(a.Pred, p.Arg, prev)
@@ -292,12 +304,14 @@ func (s *Store) ByPredicate(pred string) []FactID {
 // Candidates returns fact ids with the given predicate whose argument arg
 // equals t. It returns the internal slice; callers must not mutate it.
 func (s *Store) Candidates(pred string, arg int, t logic.Term) []FactID {
+	mLookups.Inc()
 	return s.index[indexKey{pred, arg, t}]
 }
 
 // CandidatesByPred returns the internal per-predicate id slice; callers must
 // not mutate it.
 func (s *Store) CandidatesByPred(pred string) []FactID {
+	mLookups.Inc()
 	return s.byPred[pred]
 }
 
