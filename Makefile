@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: build test verify verify2 bench
+# The benchmark workload behind make bench / bench-check: fixed experiment,
+# scale and seed so successive runs are comparable.
+BENCH_ARGS ?= -exp fig3 -scale 0.25 -reps 3 -seed 1
+BENCH_THRESHOLD ?= 1.25
+
+.PHONY: build test verify verify2 bench bench-check bench-check-report bench-go ci
 
 build:
 	$(GO) build ./...
@@ -17,5 +22,29 @@ verify2:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
+# bench writes the machine-readable perf baseline (environment stamp,
+# metrics snapshot, five-number latency summaries) to BENCH.json.
 bench:
+	$(GO) run ./cmd/kbbench $(BENCH_ARGS) -json BENCH.json
+
+BENCH.json:
+	$(MAKE) bench
+
+# bench-check re-runs the same workload and fails (non-zero exit) if any
+# latency metric's mean regressed beyond BENCH_THRESHOLD x the baseline.
+bench-check: BENCH.json
+	$(GO) run ./cmd/kbbench $(BENCH_ARGS) -json BENCH_new.json -baseline BENCH.json -threshold $(BENCH_THRESHOLD)
+
+# bench-check-report is the CI-friendly report-only variant: prints the
+# comparison but always exits zero (machines differ across runners).
+bench-check-report: BENCH.json
+	$(GO) run ./cmd/kbbench $(BENCH_ARGS) -json BENCH_new.json -baseline BENCH.json -threshold $(BENCH_THRESHOLD) -regress-ok
+
+# bench-go runs the Go micro-benchmarks (allocation guards and hot-path
+# timings) — complementary to the kbbench workload baseline.
+bench-go:
 	$(GO) test -bench=. -benchmem ./...
+
+# ci is the whole gate in one target, mirroring .github/workflows/ci.yml
+# for environments without Actions.
+ci: verify verify2 bench-check-report

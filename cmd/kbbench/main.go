@@ -9,6 +9,8 @@
 //	kbbench -exp fig2                # Figure 2 (a)-(d), Durum Wheat v1+v2
 //	kbbench -exp fig5c -scale 0.25   # quarter-scale Figure 5(c)
 //	kbbench -exp fig3 -metrics m.json -trace t.jsonl   # with observability
+//	kbbench -exp fig3 -scale 0.1 -json BENCH.json      # machine-readable baseline
+//	kbbench -exp fig3 -scale 0.1 -baseline BENCH.json  # regression gate
 package main
 
 import (
@@ -25,26 +27,37 @@ import (
 
 func main() {
 	var (
-		which   = flag.String("exp", "all", "experiment: fig2 | fig3 | fig4a | fig4b | fig5a | fig5b | fig5c | usermodel | ablation | all")
-		scale   = flag.Float64("scale", 1.0, "workload scale factor (sizes multiplied by this)")
-		reps    = flag.Int("reps", 0, "override repetition count (0 = paper value)")
-		seed    = flag.Int64("seed", 1, "base random seed")
-		metrics = flag.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
-		trace   = flag.String("trace", "", "stream a JSON-lines execution trace to this file")
-		pprof   = flag.String("pprof", "", "serve pprof/expvar debug handlers on this address (e.g. localhost:6060)")
+		which     = flag.String("exp", "all", "experiment: fig2 | fig3 | fig4a | fig4b | fig5a | fig5b | fig5c | usermodel | ablation | all")
+		scale     = flag.Float64("scale", 1.0, "workload scale factor (sizes multiplied by this)")
+		reps      = flag.Int("reps", 0, "override repetition count (0 = paper value)")
+		seed      = flag.Int64("seed", 1, "base random seed")
+		benchJSON = flag.String("json", "", "write a machine-readable benchmark report (BENCH.json) to this file")
+		baseline  = flag.String("baseline", "", "compare this run against a prior -json report; exit non-zero on regression")
+		threshold = flag.Float64("threshold", 1.25, "regression threshold for -baseline: fail when new mean > old mean x this")
+		regressOK = flag.Bool("regress-ok", false, "with -baseline: report regressions but exit zero (CI report-only mode)")
 	)
+	obsCfg := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
-	obsCfg := obs.CLIConfig{MetricsPath: *metrics, TracePath: *trace, PprofAddr: *pprof}
-	flush, err := obs.SetupCLI(obsCfg)
+	flush, err := obs.SetupCLI(*obsCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kbbench:", err)
 		os.Exit(1)
+	}
+	benching := *benchJSON != "" || *baseline != ""
+	if benching {
+		// The report's latency summaries need the opt-in timers on.
+		obs.SetEnabled(true)
 	}
 
 	out := bufio.NewWriter(os.Stdout)
 	runErr := run(out, *which, *scale, *reps, *seed)
 	if runErr == nil && obsCfg.Enabled() {
 		exp.WriteMetrics(out, obs.Default().Snapshot())
+	}
+	if runErr == nil && benching {
+		label := fmt.Sprintf("exp=%s scale=%g reps=%d seed=%d", *which, *scale, *reps, *seed)
+		rep := exp.NewBenchReport(label, obs.Default().Snapshot())
+		runErr = benchBaseline(out, rep, *benchJSON, *baseline, *threshold, *regressOK)
 	}
 	if err := out.Flush(); err != nil && runErr == nil {
 		runErr = fmt.Errorf("writing output: %w", err)
@@ -56,6 +69,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "kbbench:", runErr)
 		os.Exit(1)
 	}
+}
+
+// benchBaseline writes the machine-readable report and, when a baseline is
+// given, compares against it. A regression beyond the threshold is an
+// error (non-zero exit) unless reportOnly is set.
+func benchBaseline(w io.Writer, rep exp.BenchReport, jsonPath, baselinePath string, threshold float64, reportOnly bool) error {
+	if jsonPath != "" {
+		if err := exp.WriteBenchReportFile(rep, jsonPath); err != nil {
+			return err
+		}
+	}
+	if baselinePath == "" {
+		return nil
+	}
+	old, err := exp.ReadBenchReportFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	regs := exp.CompareBenchReports(old, rep, threshold)
+	exp.WriteBenchComparison(w, old, regs, threshold)
+	if len(regs) > 0 && !reportOnly {
+		return fmt.Errorf("%d metric(s) regressed beyond %.2fx of %s", len(regs), threshold, baselinePath)
+	}
+	return nil
 }
 
 func scaleInt(n int, s float64) int {

@@ -6,6 +6,7 @@
 //
 //	kbcheck -kb medical.kb
 //	kbcheck -kb medical.kb -conflicts     # list every conflict
+//	kbcheck -kb huge.kb -metrics m.json -pprof localhost:6060
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 
 	"kbrepair"
 	"kbrepair/internal/exp"
+	"kbrepair/internal/obs"
 )
 
 func main() {
@@ -26,15 +28,24 @@ func main() {
 		listConflicts = flag.Bool("conflicts", false, "list every conflict with its base support")
 		explain       = flag.Bool("explain", false, "with -conflicts: print derivation trees for chase-discovered violations")
 	)
+	obsCfg := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if *kbPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	flush, err := obs.SetupCLI(*obsCfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kbcheck:", err)
+		os.Exit(1)
+	}
 	out := bufio.NewWriter(os.Stdout)
 	runErr := run(out, *kbPath, *listConflicts, *explain)
 	if err := out.Flush(); err != nil && runErr == nil {
 		runErr = fmt.Errorf("writing output: %w", err)
+	}
+	if err := flush(); err != nil && runErr == nil {
+		runErr = err
 	}
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "kbcheck:", runErr)

@@ -6,6 +6,7 @@
 //	kbgen -facts 1005 -ratio 0.2 -cdds 15 -out synth.kb
 //	kbgen -facts 800 -ratio 0.25 -cdds 50 -tgds 25 -out mixed.kb
 //	kbgen -durum 1 -out durum_v1.kb
+//	kbgen -facts 100000 -metrics m.json -out big.kb   # with observability
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 
 	"kbrepair"
+	"kbrepair/internal/obs"
 )
 
 func main() {
@@ -31,9 +33,19 @@ func main() {
 		outPath  = flag.String("out", "", "output file (default: stdout)")
 		quiet    = flag.Bool("quiet", false, "suppress the characteristics report")
 	)
+	obsCfg := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
-	if err := run(os.Stdout, *facts, *ratio, *cdds, *tgds, *depth, *joinVar, *preds, *seed, *durumVer, *outPath, *quiet); err != nil {
+	flush, err := obs.SetupCLI(*obsCfg)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "kbgen:", err)
+		os.Exit(1)
+	}
+	runErr := run(os.Stdout, *facts, *ratio, *cdds, *tgds, *depth, *joinVar, *preds, *seed, *durumVer, *outPath, *quiet)
+	if err := flush(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "kbgen:", runErr)
 		os.Exit(1)
 	}
 }

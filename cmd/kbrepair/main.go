@@ -10,6 +10,7 @@
 //	kbrepair -kb medical.kb -oracle repaired.kb  # oracle user (§4.1)
 //	kbrepair -kb medical.kb -auto -out fixed.kb  # write the repair
 //	kbrepair -kb medical.kb -auto -metrics m.json -trace t.jsonl
+//	kbrepair -kb medical.kb -auto -timeseries ts.jsonl -pprof localhost:6060
 package main
 
 import (
@@ -38,16 +39,14 @@ func main() {
 		maxValues = flag.Int("max-values", 0, "cap candidate values per position (0 = unlimited)")
 		journal   = flag.String("journal", "", "record the session (questions and answers) to this JSON file")
 		replay    = flag.String("replay", "", "answer questions by replaying a recorded session file")
-		metrics   = flag.String("metrics", "", "write a JSON metrics snapshot to this file on exit")
-		trace     = flag.String("trace", "", "stream a JSON-lines execution trace to this file")
-		pprof     = flag.String("pprof", "", "serve pprof/expvar debug handlers on this address (e.g. localhost:6060)")
 	)
+	obsCfg := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if *kbPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	flush, err := obs.SetupCLI(obs.CLIConfig{MetricsPath: *metrics, TracePath: *trace, PprofAddr: *pprof})
+	flush, err := obs.SetupCLI(*obsCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kbrepair:", err)
 		os.Exit(1)

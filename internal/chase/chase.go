@@ -26,6 +26,10 @@ var (
 	mDerived  = obs.NewCounter("chase.facts_derived")
 	mNulls    = obs.NewCounter("chase.nulls_invented")
 	mRunTime  = obs.NewHistogram("chase.run_seconds", obs.LatencyBuckets)
+	// gRound is the live-progress gauge read back by /statusz: the round
+	// the most recent chase is on (concurrent chases overwrite each other,
+	// which is fine for a dashboard).
+	gRound = obs.NewGauge(obs.StatusChaseRound)
 )
 
 // ErrBudget is returned when the chase exceeds its safety budget. On a
@@ -189,6 +193,7 @@ func chaseLoop(base *store.Store, tgds []*logic.TGD, opts Options, abortPred str
 	for len(delta) > 0 {
 		res.Rounds++
 		mRounds.Inc()
+		gRound.Set(int64(res.Rounds))
 		if res.Rounds > opts.maxRounds() {
 			return res, fmt.Errorf("%w: more than %d rounds", ErrBudget, opts.maxRounds())
 		}

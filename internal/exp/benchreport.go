@@ -1,0 +1,178 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"kbrepair/internal/obs"
+	"kbrepair/internal/stats"
+)
+
+// BenchSchemaVersion identifies the BENCH.json layout; bump on breaking
+// changes so baseline comparisons can refuse incompatible files.
+const BenchSchemaVersion = 1
+
+// BenchEnv stamps the environment a benchmark ran in, so a baseline
+// comparison can warn when the machines differ.
+type BenchEnv struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	Hostname  string `json:"hostname,omitempty"`
+}
+
+// CurrentBenchEnv captures the running process's environment.
+func CurrentBenchEnv() BenchEnv {
+	host, _ := os.Hostname()
+	return BenchEnv{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Hostname:  host,
+	}
+}
+
+// BenchReport is the machine-readable benchmark baseline: what kbbench
+// -json writes and -baseline compares against. Summaries holds one
+// five-number summary per latency histogram, estimated from the buckets
+// (stats.FromHistogram's accuracy contract applies).
+type BenchReport struct {
+	SchemaVersion int                      `json:"schema_version"`
+	CreatedUnix   int64                    `json:"created_unix"`
+	Label         string                   `json:"label,omitempty"`
+	Env           BenchEnv                 `json:"env"`
+	Metrics       obs.Snapshot             `json:"metrics"`
+	Summaries     map[string]stats.Summary `json:"summaries"`
+}
+
+// NewBenchReport assembles a report from a metrics snapshot, stamping the
+// current environment and time.
+func NewBenchReport(label string, snap obs.Snapshot) BenchReport {
+	r := BenchReport{
+		SchemaVersion: BenchSchemaVersion,
+		CreatedUnix:   time.Now().Unix(),
+		Label:         label,
+		Env:           CurrentBenchEnv(),
+		Metrics:       snap,
+		Summaries:     make(map[string]stats.Summary, len(snap.Histograms)),
+	}
+	for name, h := range snap.Histograms {
+		r.Summaries[name] = h.Summary()
+	}
+	return r
+}
+
+// Write emits the report as indented JSON.
+func (r BenchReport) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteBenchReportFile writes the report to path.
+func WriteBenchReportFile(r BenchReport, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("bench report: %w", err)
+	}
+	if err := r.Write(f); err != nil {
+		f.Close()
+		return fmt.Errorf("bench report: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("bench report: %w", err)
+	}
+	return nil
+}
+
+// ReadBenchReportFile loads a report written by WriteBenchReportFile and
+// validates its schema version.
+func ReadBenchReportFile(path string) (BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return BenchReport{}, fmt.Errorf("bench baseline: %w", err)
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return BenchReport{}, fmt.Errorf("bench baseline %s: %w", path, err)
+	}
+	if r.SchemaVersion != BenchSchemaVersion {
+		return BenchReport{}, fmt.Errorf("bench baseline %s: schema version %d, this binary reads %d",
+			path, r.SchemaVersion, BenchSchemaVersion)
+	}
+	return r, nil
+}
+
+// benchNoiseFloorSeconds is the mean latency below which a histogram is
+// ignored by the regression check: sub-microsecond means are dominated by
+// timer granularity and scheduling noise, and a 2× swing there says
+// nothing about the code.
+const benchNoiseFloorSeconds = 1e-6
+
+// Regression is one metric that got slower than the baseline allows.
+type Regression struct {
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old_mean_seconds"`
+	New    float64 `json:"new_mean_seconds"`
+	Ratio  float64 `json:"ratio"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: mean %.3gs -> %.3gs (%.2fx)", r.Metric, r.Old, r.New, r.Ratio)
+}
+
+// CompareBenchReports checks every latency histogram present in both
+// reports: a metric regresses when its new mean exceeds the old mean by
+// more than the threshold factor (e.g. 1.25 allows 25% slack). Metrics
+// with no observations on either side, or with both means under the
+// 1µs noise floor, are skipped. Results are sorted worst-first.
+func CompareBenchReports(old, new BenchReport, threshold float64) []Regression {
+	var out []Regression
+	for name, oh := range old.Metrics.Histograms {
+		nh, ok := new.Metrics.Histograms[name]
+		if !ok || oh.Count == 0 || nh.Count == 0 {
+			continue
+		}
+		oldMean := oh.Sum / float64(oh.Count)
+		newMean := nh.Sum / float64(nh.Count)
+		if oldMean < benchNoiseFloorSeconds && newMean < benchNoiseFloorSeconds {
+			continue
+		}
+		if oldMean <= 0 {
+			continue
+		}
+		ratio := newMean / oldMean
+		if ratio > threshold {
+			out = append(out, Regression{Metric: name, Old: oldMean, New: newMean, Ratio: ratio})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ratio > out[j].Ratio })
+	return out
+}
+
+// WriteBenchComparison renders a human-readable comparison section: the
+// regressions (if any) and a one-line verdict.
+func WriteBenchComparison(w io.Writer, old BenchReport, regs []Regression, threshold float64) {
+	fmt.Fprintf(w, "== Baseline comparison (threshold %.2fx, baseline %s) ==\n",
+		threshold, time.Unix(old.CreatedUnix, 0).UTC().Format(time.RFC3339))
+	if env := CurrentBenchEnv(); env.GoVersion != old.Env.GoVersion || env.NumCPU != old.Env.NumCPU ||
+		env.GOOS != old.Env.GOOS || env.GOARCH != old.Env.GOARCH {
+		fmt.Fprintf(w, "  note: environment differs from baseline (%s %s/%s %d cpus vs %s %s/%s %d cpus)\n",
+			env.GoVersion, env.GOOS, env.GOARCH, env.NumCPU,
+			old.Env.GoVersion, old.Env.GOOS, old.Env.GOARCH, old.Env.NumCPU)
+	}
+	if len(regs) == 0 {
+		fmt.Fprintln(w, "  no regressions")
+		return
+	}
+	for _, r := range regs {
+		fmt.Fprintf(w, "  REGRESSED %s\n", r)
+	}
+}

@@ -20,7 +20,39 @@ var (
 	mPhase1    = obs.NewCounter("inquiry.phase1_rounds")
 	mPhase2    = obs.NewCounter("inquiry.phase2_rounds")
 	hDelay     = obs.NewHistogram("inquiry.question_delay_seconds", obs.LatencyBuckets)
+
+	// Live-progress gauges read back by /statusz and the time-series
+	// sampler. They describe the current (most recent) run; each Run resets
+	// them, so a dashboard watching a kbbench session sees per-run curves.
+	gPhase     = obs.NewGauge(obs.StatusPhase)
+	gConflicts = obs.NewGauge(obs.StatusConflictsRemaining)
+	gAsked     = obs.NewGauge(obs.StatusQuestionsAsked)
 )
+
+// statusBegin resets the live-progress gauges for a fresh run.
+func statusBegin() {
+	gPhase.Set(0)
+	gConflicts.Set(0)
+	gAsked.Set(0)
+}
+
+// statusRound publishes the state of the round about to be asked, and
+// marks a time-series row so per-round progress curves line up with
+// questions rather than wall-clock ticks.
+func statusRound(phase int, conflicts, asked int) {
+	gPhase.Set(int64(phase))
+	gConflicts.Set(int64(conflicts))
+	gAsked.Set(int64(asked))
+	if obs.SamplerActive() {
+		obs.SampleNow("question")
+	}
+}
+
+// statusEnd publishes the terminal state (phase 3 = done).
+func statusEnd(conflicts int) {
+	gPhase.Set(3)
+	gConflicts.Set(int64(conflicts))
+}
 
 // Options tune an inquiry run.
 type Options struct {
@@ -214,6 +246,7 @@ func (e *Engine) ask(cs []*conflict.Conflict, x *conflict.Conflict, phase int) (
 	q := Question{Conflict: x, Fixes: fixes, Phase: phase}
 	delay := time.Since(t0)
 	mQuestions.Inc()
+	gAsked.Add(1)
 	hDelay.Observe(delay.Seconds())
 	if phase == 1 {
 		mPhase1.Inc()
@@ -257,6 +290,7 @@ func (e *Engine) Run() (*Result, error) {
 		return nil, errors.New("inquiry: nil user")
 	}
 	mInqRuns.Inc()
+	statusBegin()
 	start := time.Now()
 	res := &Result{Strategy: e.Strategy.Name(), InitialTotal: -1}
 
@@ -287,6 +321,7 @@ func (e *Engine) Run() (*Result, error) {
 	// Phase one: naive conflicts.
 	for tracker.Len() > 0 {
 		cs := tracker.Conflicts()
+		statusRound(1, len(cs), len(res.Rounds))
 		x := e.Strategy.PickConflict(e, cs)
 		offered, rd, err := e.ask(cs, x, 1)
 		if err != nil {
@@ -314,6 +349,7 @@ func (e *Engine) Run() (*Result, error) {
 		if len(cs) == 0 {
 			break
 		}
+		statusRound(2, len(cs), len(res.Rounds))
 		x := e.Strategy.PickConflict(e, cs)
 		offered, rd, err := e.ask(cs, x, 2)
 		if err != nil {
@@ -334,6 +370,7 @@ func (e *Engine) Run() (*Result, error) {
 	if err != nil {
 		return res, err
 	}
+	statusEnd(0)
 	res.Consistent = ok
 	res.Questions = len(res.Rounds)
 	res.Duration = time.Since(start)
@@ -352,6 +389,7 @@ func (e *Engine) RunBasic() (*Result, error) {
 		return nil, errors.New("inquiry: nil user")
 	}
 	mInqRuns.Inc()
+	statusBegin()
 	start := time.Now()
 	res := &Result{Strategy: "basic"}
 	res.InitialNaive = len(conflict.AllNaive(e.KB.Facts, e.KB.CDDs))
@@ -368,6 +406,7 @@ func (e *Engine) RunBasic() (*Result, error) {
 		if len(cs) == 0 {
 			break
 		}
+		statusRound(1, len(cs), len(res.Rounds))
 		t0 := time.Now()
 		x := pickRandom(cs, e.Rng)
 		positions := x.Positions(e.KB.Facts)
@@ -381,6 +420,7 @@ func (e *Engine) RunBasic() (*Result, error) {
 		q := Question{Conflict: x, Fixes: fixes, Phase: 1}
 		delay := time.Since(t0)
 		mQuestions.Inc()
+		gAsked.Add(1)
 		mPhase1.Inc()
 		hDelay.Observe(delay.Seconds())
 		f, err := e.User.Choose(e.KB, q)
@@ -411,6 +451,7 @@ func (e *Engine) RunBasic() (*Result, error) {
 	if err != nil {
 		return res, err
 	}
+	statusEnd(0)
 	res.Consistent = ok
 	res.Questions = len(res.Rounds)
 	res.Duration = time.Since(start)

@@ -1,0 +1,81 @@
+package inquiry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"kbrepair/internal/core"
+	"kbrepair/internal/obs"
+)
+
+// fetchStatus scrapes /statusz from the debug mux over real HTTP.
+func fetchStatus(t *testing.T, url string) obs.Status {
+	t.Helper()
+	resp, err := http.Get(url + "/statusz")
+	if err != nil {
+		t.Fatalf("GET /statusz: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st obs.Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("statusz is not valid JSON: %v\n%s", err, body)
+	}
+	return st
+}
+
+// TestStatuszDuringRepair drives a real repair session and scrapes
+// /statusz from inside the user callback — the point where a question is
+// open — asserting the live gauges show an in-progress run, then checks
+// the terminal state after the run completes.
+func TestStatuszDuringRepair(t *testing.T) {
+	srv := httptest.NewServer(obs.DebugMux())
+	defer srv.Close()
+
+	kb := fig1bKB(t)
+	sim := NewSimulatedUser(3)
+	sawLive := false
+	user := FuncUser(func(kb *core.KB, q Question) (core.Fix, error) {
+		st := fetchStatus(t, srv.URL)
+		if st.Phase != 1 && st.Phase != 2 {
+			t.Errorf("mid-run phase = %d, want 1 or 2", st.Phase)
+		}
+		if st.ConflictsRemaining < 1 {
+			t.Errorf("mid-run conflicts_remaining = %d, want >= 1", st.ConflictsRemaining)
+		}
+		sawLive = true
+		return sim.Choose(kb, q)
+	})
+
+	e := New(kb, Random{}, user, 1, Options{})
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawLive {
+		t.Fatal("user callback never ran — KB was not inconsistent?")
+	}
+	if !res.Consistent {
+		t.Fatal("repair did not converge")
+	}
+
+	st := fetchStatus(t, srv.URL)
+	if st.Phase != 3 {
+		t.Errorf("final phase = %d, want 3 (done)", st.Phase)
+	}
+	if st.ConflictsRemaining != 0 {
+		t.Errorf("final conflicts_remaining = %d, want 0", st.ConflictsRemaining)
+	}
+	if st.QuestionsAsked != int64(res.Questions) {
+		t.Errorf("questions_asked gauge = %d, result says %d", st.QuestionsAsked, res.Questions)
+	}
+	if st.Gauges[obs.StatusChaseRound] < 1 {
+		t.Errorf("chase.round = %d, want >= 1 (fig1b has a TGD)", st.Gauges[obs.StatusChaseRound])
+	}
+}

@@ -2,9 +2,11 @@ package obs
 
 import (
 	"expvar"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"sync"
 )
 
@@ -22,17 +24,12 @@ func PublishExpvar() {
 	})
 }
 
-// ServeDebug starts an HTTP server on addr exposing the pprof handlers
-// (/debug/pprof/...) and expvar (/debug/vars, including the metrics
-// snapshot via PublishExpvar). It listens synchronously — so an unusable
-// address fails fast — then serves in a goroutine, and returns the bound
-// address (useful with ":0").
-func ServeDebug(addr string) (string, error) {
+// DebugMux builds the debug server's routing table: pprof handlers
+// (/debug/pprof/...), expvar (/debug/vars), the Prometheus exposition of
+// the default registry (/metrics) and the live run status (/statusz).
+// It is exported so tests can mount it on an httptest.Server.
+func DebugMux() *http.ServeMux {
 	PublishExpvar()
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", err
-	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -40,10 +37,27 @@ func ServeDebug(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", MetricsHandler())
+	mux.Handle("/statusz", StatuszHandler())
+	return mux
+}
+
+// ServeDebug starts an HTTP server on addr exposing DebugMux. It listens
+// synchronously — so an unusable address fails fast — then serves in a
+// goroutine, and returns the bound address (useful with ":0": tests and
+// scripts scrape the endpoints on an ephemeral port). The server lives for
+// the process; if Serve ever fails the error is surfaced on stderr rather
+// than silently dropped.
+func ServeDebug(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := DebugMux()
 	go func() {
-		// The server lives for the process; Serve only returns on listener
-		// close, and the CLIs never close it.
-		_ = http.Serve(ln, mux)
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintf(os.Stderr, "obs: debug server on %s: %v\n", ln.Addr(), err)
+		}
 	}()
 	return ln.Addr().String(), nil
 }

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SampleHist is the per-row histogram digest: count and sum are enough to
+// plot rates and running means over time; full bucket vectors stay in the
+// end-of-run snapshot.
+type SampleHist struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+}
+
+// SampleRow is one line of the time-series JSONL produced by a Sampler.
+// TMS is milliseconds since the sampler started, so rows from one run
+// align without clock arithmetic. Label distinguishes periodic ticks
+// ("tick"), forced marks (the SampleNow argument, e.g. "question") and the
+// final row written by Stop ("final").
+type SampleRow struct {
+	TMS        int64                 `json:"t_ms"`
+	Label      string                `json:"label"`
+	Counters   map[string]int64      `json:"counters"`
+	Gauges     map[string]int64      `json:"gauges"`
+	Histograms map[string]SampleHist `json:"histograms"`
+}
+
+// Sampler snapshots a registry into a JSONL time-series: periodically on
+// its own goroutine, and on demand via SampleNow (the inquiry engine marks
+// a row after every answered question, giving the per-round progress
+// curves of the paper's Figure 4). Writes are serialized; the first write
+// error is retained and returned by Stop, after which rows are dropped.
+type Sampler struct {
+	reg   *Registry
+	every time.Duration
+	start time.Time
+
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// StartSampler begins sampling reg onto w. If every > 0 a background
+// goroutine writes a row each interval; with every <= 0 only forced marks
+// (SampleNow, Stop) produce rows. The first row ("start") is written
+// immediately so even an instant run yields a non-empty series.
+func StartSampler(reg *Registry, w io.Writer, every time.Duration) *Sampler {
+	s := &Sampler{
+		reg:   reg,
+		every: every,
+		start: time.Now(),
+		enc:   json.NewEncoder(w),
+		done:  make(chan struct{}),
+	}
+	s.sample("start")
+	if every > 0 {
+		s.wg.Add(1)
+		go s.loop()
+	}
+	return s
+}
+
+func (s *Sampler) loop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.sample("tick")
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// sample writes one row.
+func (s *Sampler) sample(label string) {
+	snap := s.reg.Snapshot()
+	row := SampleRow{
+		TMS:        time.Since(s.start).Milliseconds(),
+		Label:      label,
+		Counters:   snap.Counters,
+		Gauges:     snap.Gauges,
+		Histograms: make(map[string]SampleHist, len(snap.Histograms)),
+	}
+	for n, h := range snap.Histograms {
+		row.Histograms[n] = SampleHist{Count: h.Count, Sum: h.Sum}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(row)
+}
+
+// SampleNow writes an extra row labeled with the given marker.
+func (s *Sampler) SampleNow(label string) { s.sample(label) }
+
+// Stop halts the periodic goroutine, writes a final row, and returns the
+// first write error encountered over the sampler's lifetime.
+func (s *Sampler) Stop() error {
+	close(s.done)
+	s.wg.Wait()
+	s.sample("final")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// activeSampler is the process-wide sampler used by the SampleNow hook.
+// Instrumented code calls obs.SampleNow at progress boundaries; with no
+// sampler installed the call is one atomic load — zero allocations, no
+// locks (BenchmarkSamplerDisabled pins this down).
+var activeSampler atomic.Pointer[Sampler]
+
+// SetSampler installs (or, with nil, removes) the process-wide sampler.
+func SetSampler(s *Sampler) {
+	if s == nil {
+		activeSampler.Store(nil)
+		return
+	}
+	activeSampler.Store(s)
+}
+
+// SamplerActive reports whether a process-wide sampler is installed.
+func SamplerActive() bool { return activeSampler.Load() != nil }
+
+// SampleNow writes a labeled row on the process-wide sampler, if one is
+// installed. Call it at natural progress boundaries (end of a question
+// round, end of an experiment repetition); the disabled path is free.
+func SampleNow(label string) {
+	if s := activeSampler.Load(); s != nil {
+		s.sample(label)
+	}
+}

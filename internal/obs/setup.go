@@ -1,9 +1,14 @@
 package obs
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"time"
 )
+
+// DefaultSampleEvery is the default time-series sampling interval.
+const DefaultSampleEvery = 250 * time.Millisecond
 
 // CLIConfig is the observability surface the CLIs expose as flags.
 type CLIConfig struct {
@@ -13,26 +18,49 @@ type CLIConfig struct {
 	// TracePath, when non-empty, enables timing and streams a JSON-lines
 	// trace of the default tracer there.
 	TracePath string
-	// PprofAddr, when non-empty, serves pprof/expvar debug handlers on the
-	// address.
+	// PprofAddr, when non-empty, serves the debug handlers (pprof, expvar,
+	// /metrics, /statusz) on the address.
 	PprofAddr string
+	// TimeseriesPath, when non-empty, enables timing and streams periodic
+	// registry samples there as JSONL (see Sampler).
+	TimeseriesPath string
+	// SampleEvery is the periodic sampling interval for TimeseriesPath;
+	// <= 0 disables the ticker, leaving only forced marks.
+	SampleEvery time.Duration
+}
+
+// AddFlags registers the shared observability flags on fs and returns the
+// CLIConfig they populate — the one wiring all four CLIs use, so flag
+// names and help strings stay identical across binaries. Pass the result
+// to SetupCLI after fs is parsed.
+func AddFlags(fs *flag.FlagSet) *CLIConfig {
+	c := &CLIConfig{SampleEvery: DefaultSampleEvery}
+	fs.StringVar(&c.MetricsPath, "metrics", "", "write a JSON metrics snapshot to this file on exit")
+	fs.StringVar(&c.TracePath, "trace", "", "stream a JSON-lines execution trace to this file")
+	fs.StringVar(&c.PprofAddr, "pprof", "", "serve pprof/expvar/metrics debug handlers on this address (e.g. localhost:6060)")
+	fs.StringVar(&c.TimeseriesPath, "timeseries", "", "stream periodic JSON-lines metric samples to this file")
+	fs.DurationVar(&c.SampleEvery, "sample-interval", c.SampleEvery, "sampling interval for -timeseries")
+	return c
 }
 
 // Enabled reports whether any observability output was requested.
 func (c CLIConfig) Enabled() bool {
-	return c.MetricsPath != "" || c.TracePath != "" || c.PprofAddr != ""
+	return c.MetricsPath != "" || c.TracePath != "" || c.PprofAddr != "" || c.TimeseriesPath != ""
 }
 
 // SetupCLI wires the requested observability outputs and returns a flush
 // function to be called once on exit. Output files are created eagerly so
 // an unwritable path fails before any work is done, with a clear error and
 // a non-zero exit in the CLIs. The flush writes the metrics snapshot,
-// tears down the trace sink, and reports any write error encountered.
+// stops the sampler, tears down the trace sink, and reports any write
+// error encountered.
 func SetupCLI(c CLIConfig) (flush func() error, err error) {
 	var (
 		metricsFile *os.File
 		traceFile   *os.File
 		traceSink   *JSONLSink
+		seriesFile  *os.File
+		sampler     *Sampler
 	)
 	fail := func(err error) (func() error, error) {
 		if metricsFile != nil {
@@ -40,6 +68,9 @@ func SetupCLI(c CLIConfig) (flush func() error, err error) {
 		}
 		if traceFile != nil {
 			traceFile.Close()
+		}
+		if seriesFile != nil {
+			seriesFile.Close()
 		}
 		return nil, err
 	}
@@ -58,12 +89,20 @@ func SetupCLI(c CLIConfig) (flush func() error, err error) {
 		traceSink = NewJSONLSink(traceFile)
 		SetTraceSink(traceSink)
 	}
+	if c.TimeseriesPath != "" {
+		seriesFile, err = os.Create(c.TimeseriesPath)
+		if err != nil {
+			return fail(fmt.Errorf("timeseries output: %w", err))
+		}
+		sampler = StartSampler(Default(), seriesFile, c.SampleEvery)
+		SetSampler(sampler)
+	}
 	if c.PprofAddr != "" {
 		if _, err := ServeDebug(c.PprofAddr); err != nil {
 			return fail(fmt.Errorf("pprof server: %w", err))
 		}
 	}
-	if c.MetricsPath != "" || c.TracePath != "" {
+	if c.MetricsPath != "" || c.TracePath != "" || c.TimeseriesPath != "" {
 		SetEnabled(true)
 	}
 
@@ -72,6 +111,13 @@ func SetupCLI(c CLIConfig) (flush func() error, err error) {
 		keep := func(err error) {
 			if err != nil && first == nil {
 				first = err
+			}
+		}
+		if sampler != nil {
+			SetSampler(nil)
+			keep(sampler.Stop())
+			if err := seriesFile.Close(); err != nil {
+				keep(fmt.Errorf("timeseries output: %w", err))
 			}
 		}
 		if traceSink != nil {

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// Well-known gauge names for live run status. The instrumented packages
+// (internal/inquiry, internal/chase) register gauges under these names;
+// the /statusz handler and the time-series sampler read them back, so the
+// names are the contract between the two layers.
+const (
+	// StatusPhase is the inquiry run phase: 0 idle, 1 resolving naive
+	// conflicts, 2 resolving chase-discovered conflicts, 3 done.
+	StatusPhase = "inquiry.phase"
+	// StatusConflictsRemaining is the size of the conflict set the current
+	// inquiry phase is working through.
+	StatusConflictsRemaining = "inquiry.conflicts_remaining"
+	// StatusQuestionsAsked is the number of questions asked so far in the
+	// current inquiry run.
+	StatusQuestionsAsked = "inquiry.questions_asked"
+	// StatusChaseRound is the round the most recent chase is on.
+	StatusChaseRound = "chase.round"
+)
+
+// processStart anchors the uptime reported by /statusz.
+var processStart = time.Now()
+
+// Status is the /statusz document: the run-progress gauges promoted to
+// named fields (zero when the gauge is not registered), plus every gauge
+// for completeness.
+type Status struct {
+	UptimeSeconds      float64          `json:"uptime_seconds"`
+	Phase              int64            `json:"phase"`
+	ConflictsRemaining int64            `json:"conflicts_remaining"`
+	QuestionsAsked     int64            `json:"questions_asked"`
+	ChaseRound         int64            `json:"chase_round"`
+	Gauges             map[string]int64 `json:"gauges"`
+}
+
+// ReadStatus assembles the live status of a registry.
+func ReadStatus(r *Registry) Status {
+	snap := r.Snapshot()
+	return Status{
+		UptimeSeconds:      time.Since(processStart).Seconds(),
+		Phase:              snap.Gauges[StatusPhase],
+		ConflictsRemaining: snap.Gauges[StatusConflictsRemaining],
+		QuestionsAsked:     snap.Gauges[StatusQuestionsAsked],
+		ChaseRound:         snap.Gauges[StatusChaseRound],
+		Gauges:             snap.Gauges,
+	}
+}
+
+// MetricsHandler serves the default registry in the Prometheus text
+// exposition format (the /metrics endpoint of the debug server).
+func MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// Render errors past the first byte cannot be reported over HTTP;
+		// the client sees a truncated (and thus unparseable) body.
+		_ = WritePrometheus(w, Default().Snapshot())
+	})
+}
+
+// StatuszHandler serves the default registry's live Status as JSON (the
+// /statusz endpoint of the debug server).
+func StatuszHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(ReadStatus(Default()))
+	})
+}

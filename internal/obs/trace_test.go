@@ -24,11 +24,11 @@ func TestJSONLSinkGolden(t *testing.T) {
 	tr := NewTracer(NewJSONLSink(&buf))
 	tr.SetNow(fixedClock())
 
-	sp := tr.StartSpan("chase.run", Int("tgds", 3)) // clock tick 1
+	sp := tr.StartSpan("chase.run", Int("tgds", 3))                               // clock tick 1
 	tr.Event("chase.round", Int("round", 1), Int("delta", 5), Str("kb", "synth")) // tick 2
-	inner := tr.StartSpan("homo.search") // tick 3
-	inner.End(Int("nodes", 7))           // tick 4
-	sp.End(Int("rounds", 2))             // tick 5
+	inner := tr.StartSpan("homo.search")                                          // tick 3
+	inner.End(Int("nodes", 7))                                                    // tick 4
+	sp.End(Int("rounds", 2))                                                      // tick 5
 
 	got := buf.String()
 	want := strings.Join([]string{

@@ -12,17 +12,23 @@ import (
 
 // Summary is a five-number summary plus mean and outliers, matching the
 // boxplots of Figure 5 (whiskers at 1.5×IQR).
+// The JSON tags are the machine-readable benchmark report schema
+// (exp.BenchReport); changing them is a schema break.
 type Summary struct {
-	N            int
-	Min, Max     float64
-	Q1, Median   float64
-	Q3           float64
-	Mean, StdDev float64
+	N      int     `json:"n"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	Q1     float64 `json:"q1"`
+	Median float64 `json:"median"`
+	Q3     float64 `json:"q3"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
 	// WhiskerLo and WhiskerHi are the most extreme data points within
 	// 1.5×IQR of the quartiles.
-	WhiskerLo, WhiskerHi float64
+	WhiskerLo float64 `json:"whisker_lo"`
+	WhiskerHi float64 `json:"whisker_hi"`
 	// Outliers are the points beyond the whiskers.
-	Outliers []float64
+	Outliers []float64 `json:"outliers,omitempty"`
 }
 
 // Mean returns the arithmetic mean, or 0 for empty input.
