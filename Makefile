@@ -5,7 +5,7 @@ GO ?= go
 BENCH_ARGS ?= -exp fig3 -scale 0.25 -reps 3 -seed 1
 BENCH_THRESHOLD ?= 1.25
 
-.PHONY: build test verify verify2 bench bench-check bench-check-report bench-go ci
+.PHONY: build test verify verify2 bench bench-check bench-check-report bench-go bench-workers ci
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,15 @@ bench-check-report: BENCH.json
 # timings) — complementary to the kbbench workload baseline.
 bench-go:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-workers runs the same workload at -workers 1 and -workers 4 and
+# compares the two reports: the parallel-speedup evidence for the README
+# table (regenerates results/bench_workers{1,4}.json). The -baseline leg
+# uses -regress-ok because the point is the printed comparison, not a gate.
+bench-workers:
+	$(GO) run ./cmd/kbbench $(BENCH_ARGS) -workers 1 -json results/bench_workers1.json
+	$(GO) run ./cmd/kbbench $(BENCH_ARGS) -workers 4 -json results/bench_workers4.json \
+		-baseline results/bench_workers1.json -threshold 1.0 -regress-ok
 
 # ci is the whole gate in one target, mirroring .github/workflows/ci.yml
 # for environments without Actions.

@@ -23,6 +23,7 @@ import (
 	"kbrepair/internal/durum"
 	"kbrepair/internal/exp"
 	"kbrepair/internal/obs"
+	"kbrepair/internal/par"
 )
 
 func main() {
@@ -37,7 +38,9 @@ func main() {
 		regressOK = flag.Bool("regress-ok", false, "with -baseline: report regressions but exit zero (CI report-only mode)")
 	)
 	obsCfg := obs.AddFlags(flag.CommandLine)
+	workersFlag := par.AddFlags(flag.CommandLine)
 	flag.Parse()
+	par.Configure(workersFlag)
 	flush, err := obs.SetupCLI(*obsCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kbbench:", err)
@@ -55,7 +58,7 @@ func main() {
 		exp.WriteMetrics(out, obs.Default().Snapshot())
 	}
 	if runErr == nil && benching {
-		label := fmt.Sprintf("exp=%s scale=%g reps=%d seed=%d", *which, *scale, *reps, *seed)
+		label := fmt.Sprintf("exp=%s scale=%g reps=%d seed=%d workers=%d", *which, *scale, *reps, *seed, par.Workers())
 		rep := exp.NewBenchReport(label, obs.Default().Snapshot())
 		runErr = benchBaseline(out, rep, *benchJSON, *baseline, *threshold, *regressOK)
 	}

@@ -20,6 +20,7 @@ import (
 	"kbrepair"
 	"kbrepair/internal/exp"
 	"kbrepair/internal/obs"
+	"kbrepair/internal/par"
 )
 
 func main() {
@@ -29,7 +30,9 @@ func main() {
 		explain       = flag.Bool("explain", false, "with -conflicts: print derivation trees for chase-discovered violations")
 	)
 	obsCfg := obs.AddFlags(flag.CommandLine)
+	workersFlag := par.AddFlags(flag.CommandLine)
 	flag.Parse()
+	par.Configure(workersFlag)
 	if *kbPath == "" {
 		flag.Usage()
 		os.Exit(2)

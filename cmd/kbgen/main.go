@@ -17,6 +17,7 @@ import (
 
 	"kbrepair"
 	"kbrepair/internal/obs"
+	"kbrepair/internal/par"
 )
 
 func main() {
@@ -34,7 +35,9 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress the characteristics report")
 	)
 	obsCfg := obs.AddFlags(flag.CommandLine)
+	workersFlag := par.AddFlags(flag.CommandLine)
 	flag.Parse()
+	par.Configure(workersFlag)
 	flush, err := obs.SetupCLI(*obsCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kbgen:", err)

@@ -25,6 +25,7 @@ import (
 	"kbrepair/internal/core"
 	"kbrepair/internal/inquiry"
 	"kbrepair/internal/obs"
+	"kbrepair/internal/par"
 )
 
 func main() {
@@ -41,7 +42,9 @@ func main() {
 		replay    = flag.String("replay", "", "answer questions by replaying a recorded session file")
 	)
 	obsCfg := obs.AddFlags(flag.CommandLine)
+	workersFlag := par.AddFlags(flag.CommandLine)
 	flag.Parse()
+	par.Configure(workersFlag)
 	if *kbPath == "" {
 		flag.Usage()
 		os.Exit(2)

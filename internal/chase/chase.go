@@ -8,10 +8,13 @@ package chase
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
 
 	"kbrepair/internal/homo"
 	"kbrepair/internal/logic"
 	"kbrepair/internal/obs"
+	"kbrepair/internal/par"
 	"kbrepair/internal/store"
 )
 
@@ -27,8 +30,12 @@ var (
 	mNulls    = obs.NewCounter("chase.nulls_invented")
 	mRunTime  = obs.NewHistogram("chase.run_seconds", obs.LatencyBuckets)
 	// gRound is the live-progress gauge read back by /statusz: the round
-	// the most recent chase is on (concurrent chases overwrite each other,
-	// which is fine for a dashboard).
+	// the chase currently in flight is on, reset to 0 when the run ends so
+	// an idle process never reports the previous run's round forever.
+	// Within one run only the round loop's goroutine writes it — parallel
+	// trigger collection happens strictly inside a round and never touches
+	// the gauge — so there is no in-run write race; concurrent *runs*
+	// overwrite each other last-writer-wins, which is fine for a dashboard.
 	gRound = obs.NewGauge(obs.StatusChaseRound)
 )
 
@@ -57,6 +64,15 @@ type Result struct {
 	Prov map[store.FactID]Derivation
 	// Rounds is the number of saturation rounds performed.
 	Rounds int
+
+	// supportMu guards supportMemo. Provenance is immutable once the run
+	// returns, so the memo only ever grows; the lock makes the cache safe
+	// for the concurrent per-CDD scans of conflict.All.
+	supportMu sync.Mutex
+	// supportMemo caches BaseSupport per fact: conflict materialization
+	// walks the same shared provenance DAG once per chase-level conflict
+	// fact, and without the memo each walk restarts from scratch.
+	supportMemo map[store.FactID][]store.FactID
 }
 
 // Derived returns the ids of all derived (non-base) facts in ascending order.
@@ -74,35 +90,54 @@ func (r *Result) IsBase(id store.FactID) bool { return int(id) < r.BaseLen }
 // BaseSupport returns the set of base facts that (transitively) support the
 // given fact: the fact itself if it is base, otherwise the union of the
 // supports of its derivation parents. The result is sorted and duplicate
-// free.
+// free. Support sets are memoized per fact (provenance never changes after
+// the run), so repeated queries over a shared derivation DAG — one per
+// chase-level conflict fact in conflict materialization — each cost one
+// map lookup instead of a full DAG walk.
 func (r *Result) BaseSupport(id store.FactID) []store.FactID {
-	seen := make(map[store.FactID]bool)
-	var out []store.FactID
-	var walk func(store.FactID)
-	walk = func(f store.FactID) {
-		if seen[f] {
-			return
-		}
-		seen[f] = true
-		if r.IsBase(f) {
-			out = append(out, f)
-			return
-		}
-		for _, p := range r.Prov[f].Parents {
-			walk(p)
-		}
+	r.supportMu.Lock()
+	defer r.supportMu.Unlock()
+	s := r.baseSupportLocked(id)
+	// Callers own their result; the memo keeps the canonical copy.
+	return append([]store.FactID(nil), s...)
+}
+
+// baseSupportLocked computes (and caches) the support set of id, memoizing
+// every intermediate fact of the DAG walk. supportMu must be held.
+func (r *Result) baseSupportLocked(id store.FactID) []store.FactID {
+	if s, ok := r.supportMemo[id]; ok {
+		return s
 	}
-	walk(id)
-	sortIDs(out)
+	var out []store.FactID
+	if r.IsBase(id) {
+		out = []store.FactID{id}
+	} else {
+		seen := make(map[store.FactID]bool)
+		for _, p := range r.Prov[id].Parents {
+			for _, b := range r.baseSupportLocked(p) {
+				if !seen[b] {
+					seen[b] = true
+					out = append(out, b)
+				}
+			}
+		}
+		sortIDs(out)
+	}
+	if r.supportMemo == nil {
+		r.supportMemo = make(map[store.FactID][]store.FactID)
+	}
+	r.supportMemo[id] = out
 	return out
 }
 
 // BaseSupportAll returns the union of base supports of several facts.
 func (r *Result) BaseSupportAll(ids []store.FactID) []store.FactID {
+	r.supportMu.Lock()
+	defer r.supportMu.Unlock()
 	seen := make(map[store.FactID]bool)
 	var out []store.FactID
 	for _, id := range ids {
-		for _, b := range r.BaseSupport(id) {
+		for _, b := range r.baseSupportLocked(id) {
 			if !seen[b] {
 				seen[b] = true
 				out = append(out, b)
@@ -114,11 +149,7 @@ func (r *Result) BaseSupportAll(ids []store.FactID) []store.FactID {
 }
 
 func sortIDs(ids []store.FactID) {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 }
 
 // Options configure a chase run.
@@ -174,6 +205,21 @@ func run(base *store.Store, tgds []*logic.TGD, opts Options, abortPred string) (
 	return chaseLoop(base, tgds, opts, abortPred)
 }
 
+// chaseLoop is the saturation engine. Each round has two phases:
+//
+//  1. Trigger collection — one read-only homomorphism search per TGD
+//     against the store as it stood at the start of the round, fanned out
+//     over the par worker pool and merged in rule order. A trigger that
+//     only exists because of a fact derived *within* the current round is
+//     picked up next round through the delta (its newest fact is in this
+//     round's delta), so nothing is lost by collecting against the round
+//     snapshot.
+//  2. Firing — strictly sequential, in (rule, enumeration) order, so the
+//     restricted-chase applicability check, provenance ids and invented
+//     null labels are identical for every worker count.
+//
+// The round gauge is written only here, between phases, never from the
+// collection workers.
 func chaseLoop(base *store.Store, tgds []*logic.TGD, opts Options, abortPred string) (*Result, error) {
 	res := &Result{
 		Store:   base.Clone(),
@@ -183,6 +229,10 @@ func chaseLoop(base *store.Store, tgds []*logic.TGD, opts Options, abortPred str
 	if len(tgds) == 0 {
 		return res, nil
 	}
+	// The chase-round gauge tracks the run in flight; once the run is over
+	// the process is idle again and /statusz must not keep reporting the
+	// last round forever.
+	defer gRound.Set(0)
 	s := res.Store
 
 	// Round 0 works on all facts; later rounds only consider triggers that
@@ -201,10 +251,13 @@ func chaseLoop(base *store.Store, tgds []*logic.TGD, opts Options, abortPred str
 		for _, id := range delta {
 			deltaSet[id] = true
 		}
+		all := res.Rounds == 1
+		perRule := par.Map(len(tgds), func(i int) []homo.Match {
+			return collectTriggers(s, tgds[i], all, deltaSet)
+		})
 		var newDelta []store.FactID
-		for _, rule := range tgds {
-			matches := collectTriggers(s, rule, res.Rounds == 1, deltaSet)
-			for _, m := range matches {
+		for ri, rule := range tgds {
+			for _, m := range perRule[ri] {
 				fired, derived, err := fire(s, rule, m, budget-len(res.Prov))
 				if err != nil {
 					return res, err
@@ -228,8 +281,9 @@ func chaseLoop(base *store.Store, tgds []*logic.TGD, opts Options, abortPred str
 
 // collectTriggers gathers body homomorphisms for the rule. In the first
 // round all homomorphisms are collected; in later rounds only those mapping
-// at least one body atom onto a delta fact. Matches are cloned because the
-// store is mutated while firing.
+// at least one body atom onto a delta fact. It only reads the store, so the
+// per-rule calls of one round may run concurrently. Matches are cloned
+// because the store is mutated later, while firing.
 func collectTriggers(s *store.Store, rule *logic.TGD, all bool, deltaSet map[store.FactID]bool) []homo.Match {
 	var out []homo.Match
 	homo.ForEach(s, rule.Body, func(m homo.Match) bool {

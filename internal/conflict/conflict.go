@@ -19,6 +19,7 @@ import (
 	"kbrepair/internal/homo"
 	"kbrepair/internal/logic"
 	"kbrepair/internal/obs"
+	"kbrepair/internal/par"
 	"kbrepair/internal/store"
 )
 
@@ -139,32 +140,61 @@ func dedupIDs(ids []store.FactID) []store.FactID {
 
 // AllNaive computes allconflicts_naive(K): every homomorphism from every
 // CDD body into the base store, deduplicated by (CDD, homomorphism).
+//
+// Detection fans out one task per CDD over the par worker pool — each CDD's
+// homomorphism search is independent and only reads the store (the
+// concurrent-read contract of internal/store). Per-CDD results are merged
+// in CDD-index order, and each search enumerates deterministically, so the
+// output is byte-identical to a sequential scan regardless of -workers.
 func AllNaive(base *store.Store, cdds []*logic.CDD) []*Conflict {
 	mScans.Inc()
 	tm := obs.StartTimer()
 	defer mDetectTime.Since(tm)
+	perCDD := par.Map(len(cdds), func(i int) []*Conflict {
+		return scanCDD(base, cdds[i], i, nil)
+	})
 	var out []*Conflict
-	seen := make(map[string]bool)
-	for idx, c := range cdds {
-		cdd := c
-		i := idx
-		homo.ForEach(base, cdd.Body, func(m homo.Match) bool {
-			cf := &Conflict{
-				CDD:       cdd,
-				CDDIdx:    i,
-				Hom:       m.Subst.Clone(),
-				Facts:     append([]store.FactID(nil), m.Facts...),
-				BaseFacts: dedupIDs(m.Facts),
-				Direct:    true,
-			}
-			if k := cf.Key(); !seen[k] {
-				seen[k] = true
-				out = append(out, cf)
-			}
-			return true
-		})
+	for _, cs := range perCDD {
+		out = append(out, cs...)
 	}
 	mFound.Add(int64(len(out)))
+	return out
+}
+
+// scanCDD enumerates the conflicts of one CDD against s, deduplicated by
+// (CDD, homomorphism) — dedup never crosses CDDs because the conflict key
+// starts with the CDD index. When res is non-nil the scan is a chase-level
+// one: base supports come from provenance and Direct only holds when every
+// violating atom is a base fact.
+func scanCDD(s *store.Store, cdd *logic.CDD, idx int, res *chase.Result) []*Conflict {
+	var out []*Conflict
+	seen := make(map[string]bool)
+	homo.ForEach(s, cdd.Body, func(m homo.Match) bool {
+		direct := true
+		baseFacts := m.Facts
+		if res != nil {
+			for _, f := range m.Facts {
+				if !res.IsBase(f) {
+					direct = false
+					break
+				}
+			}
+			baseFacts = res.BaseSupportAll(m.Facts)
+		}
+		cf := &Conflict{
+			CDD:       cdd,
+			CDDIdx:    idx,
+			Hom:       m.Subst.Clone(),
+			Facts:     append([]store.FactID(nil), m.Facts...),
+			BaseFacts: dedupIDs(baseFacts),
+			Direct:    direct,
+		}
+		if k := cf.Key(); !seen[k] {
+			seen[k] = true
+			out = append(out, cf)
+		}
+		return true
+	})
 	return out
 }
 
@@ -183,33 +213,15 @@ func All(base *store.Store, tgds []*logic.TGD, cdds []*logic.CDD, opts chase.Opt
 	if err != nil {
 		return nil, nil, err
 	}
+	// Same fan-out shape as AllNaive: one read-only task per CDD over the
+	// chased store, merged in CDD-index order. Concurrent tasks share the
+	// chase result's memoized base-support cache, which is goroutine-safe.
+	perCDD := par.Map(len(cdds), func(i int) []*Conflict {
+		return scanCDD(res.Store, cdds[i], i, res)
+	})
 	var out []*Conflict
-	seen := make(map[string]bool)
-	for idx, c := range cdds {
-		cdd := c
-		i := idx
-		homo.ForEach(res.Store, cdd.Body, func(m homo.Match) bool {
-			direct := true
-			for _, f := range m.Facts {
-				if !res.IsBase(f) {
-					direct = false
-					break
-				}
-			}
-			cf := &Conflict{
-				CDD:       cdd,
-				CDDIdx:    i,
-				Hom:       m.Subst.Clone(),
-				Facts:     append([]store.FactID(nil), m.Facts...),
-				BaseFacts: res.BaseSupportAll(m.Facts),
-				Direct:    direct,
-			}
-			if k := cf.Key(); !seen[k] {
-				seen[k] = true
-				out = append(out, cf)
-			}
-			return true
-		})
+	for _, cs := range perCDD {
+		out = append(out, cs...)
 	}
 	mFound.Add(int64(len(out)))
 	return out, res, nil

@@ -1,9 +1,12 @@
 package conflict
 
 import (
+	"sort"
+
 	"kbrepair/internal/homo"
 	"kbrepair/internal/logic"
 	"kbrepair/internal/obs"
+	"kbrepair/internal/par"
 	"kbrepair/internal/store"
 )
 
@@ -83,10 +86,24 @@ func (t *Tracker) remove(key string) {
 	}
 }
 
+// pinTask is one re-evaluation unit of Update: CDD ci with body atom ai
+// pinned onto the updated fact through the seed substitution.
+type pinTask struct {
+	ci   int
+	ai   int
+	seed logic.Subst
+	rest []logic.Atom
+}
+
 // Update re-synchronizes the conflict set after the fact with the given id
 // has been modified in the underlying store. Per §5: conflicts related to
 // the fact are dropped, then every CDD related to the fact's (new) atom is
 // re-evaluated with one body atom pinned onto the fact.
+//
+// The pinned-seed searches are independent read-only scans of the store,
+// so they fan out over the par worker pool; the tracker's own indexes are
+// only mutated afterwards, on the calling goroutine, in task order — the
+// conflict set ends up identical for any worker count.
 func (t *Tracker) Update(id store.FactID) {
 	mUpdates.Inc()
 	tm := obs.StartTimer()
@@ -95,6 +112,7 @@ func (t *Tracker) Update(id store.FactID) {
 		t.remove(k)
 	}
 	atom := t.base.FactRef(id)
+	var tasks []pinTask
 	for _, ci := range t.byPred[atom.Pred] {
 		cdd := t.cdds[ci]
 		for ai, ba := range cdd.Body {
@@ -113,34 +131,51 @@ func (t *Tracker) Update(id store.FactID) {
 					rest = append(rest, a)
 				}
 			}
-			ciCopy, aiCopy := ci, ai
-			homo.ForEachSeeded(t.base, rest, seed, func(m homo.Match) bool {
-				facts := make([]store.FactID, 0, len(cdd.Body))
-				ri := 0
-				for j := range cdd.Body {
-					if j == aiCopy {
-						facts = append(facts, id)
-					} else {
-						facts = append(facts, m.Facts[ri])
-						ri++
-					}
-				}
-				full := m.Subst.Clone()
-				for v, val := range seed {
-					full[v] = val
-				}
-				t.add(&Conflict{
-					CDD:       cdd,
-					CDDIdx:    ciCopy,
-					Hom:       full,
-					Facts:     facts,
-					BaseFacts: dedupIDs(facts),
-					Direct:    true,
-				})
-				return true
-			})
+			tasks = append(tasks, pinTask{ci: ci, ai: ai, seed: seed, rest: rest})
 		}
 	}
+	perTask := par.Map(len(tasks), func(i int) []*Conflict {
+		return t.scanPinned(id, atom, tasks[i])
+	})
+	for _, cs := range perTask {
+		for _, c := range cs {
+			t.add(c)
+		}
+	}
+}
+
+// scanPinned runs one pinned-seed homomorphism search and returns the
+// conflicts it witnesses. It reads the store and the (immutable) CDDs but
+// never touches the tracker's mutable indexes.
+func (t *Tracker) scanPinned(id store.FactID, atom logic.Atom, task pinTask) []*Conflict {
+	cdd := t.cdds[task.ci]
+	var out []*Conflict
+	homo.ForEachSeeded(t.base, task.rest, task.seed, func(m homo.Match) bool {
+		facts := make([]store.FactID, 0, len(cdd.Body))
+		ri := 0
+		for j := range cdd.Body {
+			if j == task.ai {
+				facts = append(facts, id)
+			} else {
+				facts = append(facts, m.Facts[ri])
+				ri++
+			}
+		}
+		full := m.Subst.Clone()
+		for v, val := range task.seed {
+			full[v] = val
+		}
+		out = append(out, &Conflict{
+			CDD:       cdd,
+			CDDIdx:    task.ci,
+			Hom:       full,
+			Facts:     facts,
+			BaseFacts: dedupIDs(facts),
+			Direct:    true,
+		})
+		return true
+	})
+	return out
 }
 
 // bindAtom unifies a body atom pattern against a ground fact, returning the
@@ -176,7 +211,7 @@ func (t *Tracker) Conflicts() []*Conflict {
 	for k := range t.conflicts {
 		keys = append(keys, k)
 	}
-	sortStrings(keys)
+	sort.Strings(keys)
 	out := make([]*Conflict, len(keys))
 	for i, k := range keys {
 		out[i] = t.conflicts[k]
@@ -190,7 +225,7 @@ func (t *Tracker) ConflictsOfFact(id store.FactID) []*Conflict {
 	for k := range t.byFact[id] {
 		keys = append(keys, k)
 	}
-	sortStrings(keys)
+	sort.Strings(keys)
 	out := make([]*Conflict, len(keys))
 	for i, k := range keys {
 		out[i] = t.conflicts[k]
@@ -223,12 +258,4 @@ func PositionRanks(conflicts []*Conflict, s *store.Store) map[store.Position]int
 		}
 	}
 	return ranks
-}
-
-func sortStrings(ss []string) {
-	for i := 1; i < len(ss); i++ {
-		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
-			ss[j], ss[j-1] = ss[j-1], ss[j]
-		}
-	}
 }

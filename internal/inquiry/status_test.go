@@ -75,7 +75,10 @@ func TestStatuszDuringRepair(t *testing.T) {
 	if st.QuestionsAsked != int64(res.Questions) {
 		t.Errorf("questions_asked gauge = %d, result says %d", st.QuestionsAsked, res.Questions)
 	}
-	if st.Gauges[obs.StatusChaseRound] < 1 {
-		t.Errorf("chase.round = %d, want >= 1 (fig1b has a TGD)", st.Gauges[obs.StatusChaseRound])
+	// chase.round resets to 0 when each chase run completes; after the
+	// repair no chase is in flight, so a stale round from the last run
+	// must not linger on the dashboard.
+	if st.Gauges[obs.StatusChaseRound] != 0 {
+		t.Errorf("chase.round = %d after run completion, want 0 (idle)", st.Gauges[obs.StatusChaseRound])
 	}
 }

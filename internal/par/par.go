@@ -1,0 +1,150 @@
+// Package par provides the worker-pool parallel execution layer of
+// kbrepair. The pipeline's two dominant costs — conflict detection (one
+// independent homomorphism search per CDD, and per pinned-atom seed in the
+// incremental tracker) and per-round chase trigger collection (one
+// independent read-only search per TGD) — fan out through Do/Map here.
+//
+// Design rules, enforced by the callers:
+//
+//   - Tasks are read-only with respect to shared state (the store's
+//     concurrent-read contract; see internal/store). All mutation happens
+//     after the fan-in, on the caller's goroutine.
+//   - Results are merged in task-index order, never in completion order, so
+//     every output is byte-identical regardless of the worker count. Map
+//     makes this the default by writing each task's result to its own slot.
+//
+// The pool size is a process-wide setting (SetWorkers / the -workers CLI
+// flag, default runtime.GOMAXPROCS(0)). Workers are spawned per Do call
+// rather than kept hot: the fan-outs here are coarse (whole homomorphism
+// searches), so goroutine start-up cost is noise, and an idle process holds
+// no threads.
+package par
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"kbrepair/internal/obs"
+)
+
+// Pool instrumentation: tasks executed, the configured pool size, and the
+// time tasks spend queued before a worker picks them up (nonzero queue wait
+// means the fan-out is wider than the pool — more workers would help).
+var (
+	mTasks     = obs.NewCounter("par.tasks")
+	gWorkers   = obs.NewGauge("par.workers")
+	mQueueWait = obs.NewHistogram("par.queue_wait_seconds", obs.LatencyBuckets)
+)
+
+// workers holds the configured pool size; 0 means "unset, use
+// runtime.GOMAXPROCS(0)" so that changing GOMAXPROCS at runtime is
+// respected until someone pins an explicit count.
+var workers atomic.Int64
+
+func init() { gWorkers.Set(int64(Workers())) }
+
+// Workers returns the current pool size: the value of the last SetWorkers
+// call, or runtime.GOMAXPROCS(0) if never set (or set to <= 0).
+func Workers() int {
+	if n := workers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers pins the pool size. n <= 0 resets to the default
+// (runtime.GOMAXPROCS(0)). It returns the effective size.
+func SetWorkers(n int) int {
+	if n <= 0 {
+		workers.Store(0)
+	} else {
+		workers.Store(int64(n))
+	}
+	w := Workers()
+	gWorkers.Set(int64(w))
+	return w
+}
+
+// AddFlags registers the shared -workers flag on fs, mirroring
+// obs.AddFlags so all CLIs expose an identical surface. The returned value
+// must be applied with Configure after fs is parsed.
+func AddFlags(fs *flag.FlagSet) *int {
+	n := new(int)
+	fs.IntVar(n, "workers", 0,
+		fmt.Sprintf("parallel worker count for conflict detection and chase trigger collection (0 = GOMAXPROCS, currently %d)", runtime.GOMAXPROCS(0)))
+	return n
+}
+
+// Configure applies a parsed AddFlags value.
+func Configure(n *int) { SetWorkers(*n) }
+
+// Do runs fn(0) … fn(n-1) on up to Workers() goroutines and returns when
+// all calls have finished. Tasks are handed out in index order but may
+// complete in any order; callers must not depend on cross-task timing.
+// With a pool size of one (or a single task) everything runs inline on the
+// calling goroutine, which keeps -workers 1 a true sequential baseline.
+//
+// If any task panics, Do panics on the calling goroutine with the first
+// panic value after all workers have stopped.
+func Do(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	mTasks.Add(int64(n))
+	w := Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	enq := obs.StartTimer()
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Bool
+		panicVal any
+	)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				mQueueWait.Since(enq)
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							if panicked.CompareAndSwap(false, true) {
+								panicVal = r
+							}
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
+}
+
+// Map runs fn over 0 … n-1 in parallel and returns the results in task
+// order — the deterministic fan-out/fan-in shape every parallel stage of
+// the pipeline uses.
+func Map[T any](n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	Do(n, func(i int) { out[i] = fn(i) })
+	return out
+}

@@ -1,0 +1,140 @@
+package par
+
+import (
+	"flag"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// withWorkers pins the pool size for the duration of a test.
+func withWorkers(t *testing.T, n int) {
+	t.Helper()
+	prev := workers.Load()
+	SetWorkers(n)
+	t.Cleanup(func() { workers.Store(prev); gWorkers.Set(int64(Workers())) })
+}
+
+func TestWorkersDefault(t *testing.T) {
+	withWorkers(t, 0)
+	if got, want := Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Errorf("Workers() = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	withWorkers(t, 0)
+	if got := SetWorkers(5); got != 5 {
+		t.Errorf("SetWorkers(5) = %d", got)
+	}
+	if got := Workers(); got != 5 {
+		t.Errorf("Workers() = %d after SetWorkers(5)", got)
+	}
+	if got := SetWorkers(-1); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("SetWorkers(-1) = %d, want default", got)
+	}
+	if gWorkers.Value() != int64(Workers()) {
+		t.Errorf("par.workers gauge = %d, want %d", gWorkers.Value(), Workers())
+	}
+}
+
+func TestDoRunsEveryTaskExactlyOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		withWorkers(t, w)
+		const n = 100
+		var counts [n]atomic.Int32
+		Do(n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", w, i, c)
+			}
+		}
+	}
+}
+
+func TestDoZeroAndNegative(t *testing.T) {
+	ran := false
+	Do(0, func(int) { ran = true })
+	Do(-3, func(int) { ran = true })
+	if ran {
+		t.Error("Do ran tasks for n <= 0")
+	}
+}
+
+func TestMapIsDeterministicAcrossWorkerCounts(t *testing.T) {
+	sq := func(i int) int { return i * i }
+	withWorkers(t, 1)
+	seq := Map(64, sq)
+	withWorkers(t, 8)
+	parl := Map(64, sq)
+	if len(seq) != len(parl) {
+		t.Fatalf("length mismatch: %d vs %d", len(seq), len(parl))
+	}
+	for i := range seq {
+		if seq[i] != parl[i] {
+			t.Fatalf("slot %d: %d (workers=1) vs %d (workers=8)", i, seq[i], parl[i])
+		}
+	}
+}
+
+func TestDoPropagatesPanic(t *testing.T) {
+	withWorkers(t, 4)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic not propagated")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom") {
+			t.Fatalf("unexpected panic value %v", r)
+		}
+	}()
+	Do(16, func(i int) {
+		if i == 7 {
+			panic("boom 7")
+		}
+	})
+}
+
+func TestDoCountsTasks(t *testing.T) {
+	withWorkers(t, 2)
+	before := mTasks.Value()
+	Do(10, func(int) {})
+	if got := mTasks.Value() - before; got != 10 {
+		t.Errorf("par.tasks advanced by %d, want 10", got)
+	}
+}
+
+func TestAddFlags(t *testing.T) {
+	withWorkers(t, 0)
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	n := AddFlags(fs)
+	if err := fs.Parse([]string{"-workers", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	Configure(n)
+	if got := Workers(); got != 3 {
+		t.Errorf("Workers() = %d after -workers 3", got)
+	}
+}
+
+// TestDoConcurrentFanOuts exercises overlapping Do calls from multiple
+// goroutines (the shape a future parallel phase-2 would produce) under the
+// race detector.
+func TestDoConcurrentFanOuts(t *testing.T) {
+	withWorkers(t, 4)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			var sum atomic.Int64
+			Do(50, func(i int) { sum.Add(int64(i)) })
+			if sum.Load() != 50*49/2 {
+				t.Error("wrong sum")
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+}

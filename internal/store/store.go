@@ -15,6 +15,20 @@
 //     argument i of predicate p (Def. 3.1 draws candidate fix values from
 //     these);
 //   - a ground-atom key index used to answer Contains in O(1).
+//
+// # Concurrency
+//
+// A Store is safe for concurrent readers, and only readers: any number of
+// goroutines may call the read-side accessors (Candidates,
+// CandidatesByPred, ActiveDomain, FactRef, Value, Contains, …)
+// simultaneously as long as no goroutine mutates the store (Add, SetValue,
+// FreshNull, ReserveNulls) in the same window. Writes require exclusive
+// access; the caller provides that exclusion — the store has no internal
+// locking, because the repair pipeline's phases are already strictly
+// "parallel read, then sequential write" (parallel conflict detection and
+// chase trigger collection read; fix application and rule firing write from
+// one goroutine between fan-outs). Metric increments inside read paths are
+// atomic and do not break the contract.
 package store
 
 import (
