@@ -5,7 +5,7 @@ GO ?= go
 BENCH_ARGS ?= -exp fig3 -scale 0.25 -reps 3 -seed 1
 BENCH_THRESHOLD ?= 1.25
 
-.PHONY: build test verify verify2 bench bench-check bench-check-report bench-go bench-workers ci
+.PHONY: build test verify verify2 bench bench-check bench-check-report bench-go bench-workers bundle-smoke ci
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,17 @@ bench-workers:
 	$(GO) run ./cmd/kbbench $(BENCH_ARGS) -workers 4 -json results/bench_workers4.json \
 		-baseline results/bench_workers1.json -threshold 1.0 -regress-ok
 
+# bundle-smoke exercises the post-mortem pipeline end to end: generate a
+# KB, repair it with an exit debug bundle and a recorded journal, then
+# validate that the bundle parses and renders with kbdump (including the
+# journal header and KB digest sections).
+bundle-smoke:
+	rm -rf smoke-bundle && mkdir -p smoke-bundle
+	$(GO) run ./cmd/kbgen -facts 120 -ratio 0.2 -cdds 5 -seed 1 -quiet -out smoke-bundle/smoke.kb
+	$(GO) run ./cmd/kbrepair -kb smoke-bundle/smoke.kb -auto -seed 1 \
+		-journal smoke-bundle/journal.json -debug-bundle smoke-bundle/bundle
+	$(GO) run ./cmd/kbdump -metrics smoke-bundle/bundle
+
 # ci is the whole gate in one target, mirroring .github/workflows/ci.yml
 # for environments without Actions.
-ci: verify verify2 bench-check-report
+ci: verify verify2 bench-check-report bundle-smoke

@@ -23,10 +23,12 @@ import (
 	"kbrepair/internal/durum"
 	"kbrepair/internal/exp"
 	"kbrepair/internal/obs"
+	"kbrepair/internal/obs/flight"
 	"kbrepair/internal/par"
 )
 
 func main() {
+	defer flight.HandlePanic()
 	var (
 		which     = flag.String("exp", "all", "experiment: fig2 | fig3 | fig4a | fig4b | fig5a | fig5b | fig5c | usermodel | ablation | all")
 		scale     = flag.Float64("scale", 1.0, "workload scale factor (sizes multiplied by this)")
@@ -38,14 +40,20 @@ func main() {
 		regressOK = flag.Bool("regress-ok", false, "with -baseline: report regressions but exit zero (CI report-only mode)")
 	)
 	obsCfg := obs.AddFlags(flag.CommandLine)
+	flightCfg := flight.AddFlags(flag.CommandLine)
 	workersFlag := par.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if err := obs.ValidateFlags(flag.CommandLine, "workers"); err != nil {
+		fmt.Fprintln(os.Stderr, "kbbench:", err)
+		os.Exit(2)
+	}
 	par.Configure(workersFlag)
 	flush, err := obs.SetupCLI(*obsCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kbbench:", err)
 		os.Exit(1)
 	}
+	finish := flight.Setup("kbbench", *flightCfg)
 	benching := *benchJSON != "" || *baseline != ""
 	if benching {
 		// The report's latency summaries need the opt-in timers on.
@@ -64,6 +72,9 @@ func main() {
 	}
 	if err := out.Flush(); err != nil && runErr == nil {
 		runErr = fmt.Errorf("writing output: %w", err)
+	}
+	if err := finish(); err != nil && runErr == nil {
+		runErr = err
 	}
 	if err := flush(); err != nil && runErr == nil {
 		runErr = err

@@ -18,20 +18,28 @@ import (
 	"strings"
 
 	"kbrepair"
+	"kbrepair/internal/core"
 	"kbrepair/internal/exp"
 	"kbrepair/internal/obs"
+	"kbrepair/internal/obs/flight"
 	"kbrepair/internal/par"
 )
 
 func main() {
+	defer flight.HandlePanic()
 	var (
 		kbPath        = flag.String("kb", "", "knowledge-base file (required)")
 		listConflicts = flag.Bool("conflicts", false, "list every conflict with its base support")
 		explain       = flag.Bool("explain", false, "with -conflicts: print derivation trees for chase-discovered violations")
 	)
 	obsCfg := obs.AddFlags(flag.CommandLine)
+	flightCfg := flight.AddFlags(flag.CommandLine)
 	workersFlag := par.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if err := obs.ValidateFlags(flag.CommandLine, "workers"); err != nil {
+		fmt.Fprintln(os.Stderr, "kbcheck:", err)
+		os.Exit(2)
+	}
 	par.Configure(workersFlag)
 	if *kbPath == "" {
 		flag.Usage()
@@ -42,10 +50,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "kbcheck:", err)
 		os.Exit(1)
 	}
+	finish := flight.Setup("kbcheck", *flightCfg)
 	out := bufio.NewWriter(os.Stdout)
 	runErr := run(out, *kbPath, *listConflicts, *explain)
 	if err := out.Flush(); err != nil && runErr == nil {
 		runErr = fmt.Errorf("writing output: %w", err)
+	}
+	if err := finish(); err != nil && runErr == nil {
+		runErr = err
 	}
 	if err := flush(); err != nil && runErr == nil {
 		runErr = err
@@ -61,6 +73,8 @@ func run(w io.Writer, kbPath string, listConflicts, explain bool) error {
 	if err != nil {
 		return err
 	}
+	digest := core.DigestKB(kb)
+	flight.SetDigestProvider(func() any { return digest })
 	fmt.Fprintf(w, "%s: %d facts, %d TGDs, %d CDDs\n", kbPath, kb.Facts.Len(), len(kb.TGDs), len(kb.CDDs))
 	fmt.Fprintf(w, "TGDs weakly acyclic: %v\n", kbrepair.IsWeaklyAcyclic(kb.TGDs))
 	compatible, err := kb.RulesCompatible()

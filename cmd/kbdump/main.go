@@ -1,0 +1,409 @@
+// Command kbdump inspects post-mortem debug bundles written by the kbrepair
+// CLIs (-debug-bundle, SIGQUIT/SIGUSR1, panic handler, /debugz). It accepts
+// either bundle form — a section directory or a single /debugz JSON
+// document — and pretty-prints the manifest, the flight-event timeline, the
+// anomaly summary, the KB digest, the journal summary and the metrics
+// snapshot.
+//
+// Usage:
+//
+//	kbdump bundle-dir/                  # full report
+//	kbdump -timeline=false bundle-dir/  # skip the event timeline
+//	kbdump -metrics debugz.json         # include the metrics snapshot
+//	kbdump -diff old-bundle/ new-bundle/
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"kbrepair/internal/core"
+	"kbrepair/internal/exp"
+	"kbrepair/internal/inquiry"
+	"kbrepair/internal/obs/flight"
+)
+
+func main() {
+	var (
+		timeline    = flag.Bool("timeline", true, "print the flight-event timeline")
+		tail        = flag.Int("tail", 0, "print only the last N timeline events (0 = all)")
+		withMetrics = flag.Bool("metrics", false, "print the bundle's metrics snapshot")
+		goroutines  = flag.Bool("goroutines", false, "print the goroutine stacks")
+		diff        = flag.Bool("diff", false, "compare two bundles (usage: kbdump -diff old new)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: kbdump [flags] <bundle>\n       kbdump -diff <old-bundle> <new-bundle>\n\nA bundle is a -debug-bundle directory or a /debugz JSON file.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	out := bufio.NewWriter(os.Stdout)
+	var runErr error
+	switch {
+	case *diff:
+		if flag.NArg() != 2 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		runErr = runDiff(out, flag.Arg(0), flag.Arg(1))
+	case flag.NArg() == 1:
+		runErr = run(out, flag.Arg(0), *timeline, *tail, *withMetrics, *goroutines)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := out.Flush(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "kbdump:", runErr)
+		os.Exit(1)
+	}
+}
+
+// event is the parsed form of one flight-event JSONL line. Field names vary
+// per kind, so everything beyond the fixed trio lands in Extra.
+type event struct {
+	Seq   uint64
+	TUS   int64
+	Kind  string
+	Extra []kv // remaining fields, in a stable order
+}
+
+type kv struct {
+	K string
+	V any
+}
+
+func parseEvent(raw json.RawMessage) (event, error) {
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return event{}, err
+	}
+	e := event{}
+	if v, ok := m["seq"].(float64); ok {
+		e.Seq = uint64(v)
+	}
+	if v, ok := m["t_us"].(float64); ok {
+		e.TUS = int64(v)
+	}
+	e.Kind, _ = m["kind"].(string)
+	delete(m, "seq")
+	delete(m, "t_us")
+	delete(m, "kind")
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e.Extra = append(e.Extra, kv{K: k, V: m[k]})
+	}
+	return e, nil
+}
+
+func (e event) payload() string {
+	parts := make([]string, 0, len(e.Extra))
+	for _, f := range e.Extra {
+		switch v := f.V.(type) {
+		case float64:
+			parts = append(parts, fmt.Sprintf("%s=%d", f.K, int64(v)))
+		default:
+			parts = append(parts, fmt.Sprintf("%s=%v", f.K, v))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func parseEvents(b *flight.Bundle) ([]event, error) {
+	out := make([]event, 0, len(b.Events))
+	for i, raw := range b.Events {
+		e, err := parseEvent(raw)
+		if err != nil {
+			return nil, fmt.Errorf("event %d: %w", i, err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+func run(w io.Writer, path string, timeline bool, tail int, withMetrics, goroutines bool) error {
+	b, err := flight.ReadBundle(path)
+	if err != nil {
+		return err
+	}
+	events, err := parseEvents(b)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+
+	writeManifest(w, b)
+	writeDigest(w, b)
+	writeJournal(w, b)
+	writeAnomalies(w, events)
+	if timeline {
+		writeTimeline(w, events, tail)
+	}
+	if withMetrics {
+		exp.WriteMetrics(w, b.Metrics)
+	}
+	if goroutines {
+		fmt.Fprintln(w, "== Goroutines ==")
+		fmt.Fprintln(w, strings.TrimRight(b.Goroutines, "\n"))
+	}
+	return nil
+}
+
+func writeManifest(w io.Writer, b *flight.Bundle) {
+	fmt.Fprintln(w, "== Bundle ==")
+	fmt.Fprintf(w, "  schema v%d, reason %q", b.SchemaVersion, b.Reason)
+	if b.Cmd != "" {
+		fmt.Fprintf(w, ", cmd %s", b.Cmd)
+	}
+	fmt.Fprintln(w)
+	if len(b.Args) > 0 {
+		fmt.Fprintf(w, "  args: %s\n", strings.Join(b.Args, " "))
+	}
+	fmt.Fprintf(w, "  env: %s %s/%s cpus=%d gomaxprocs=%d pid=%d",
+		b.Env.GoVersion, b.Env.GOOS, b.Env.GOARCH, b.Env.NumCPU, b.Env.GOMAXPROCS, b.Env.PID)
+	if b.Env.VCSRevision != "" {
+		rev := b.Env.VCSRevision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(w, " rev=%s", rev)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  events: %d retained of %d recorded", b.EventsRetained, b.EventsTotal)
+	if evicted := b.EventsTotal - uint64(b.EventsRetained); b.EventsTotal > 0 && evicted > 0 {
+		fmt.Fprintf(w, " (%d evicted by the ring)", evicted)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w)
+}
+
+func writeDigest(w io.Writer, b *flight.Bundle) {
+	if len(b.KBDigest) == 0 {
+		return
+	}
+	var d core.Digest
+	if err := json.Unmarshal(b.KBDigest, &d); err != nil {
+		fmt.Fprintf(w, "== KB digest == (unreadable: %v)\n\n", err)
+		return
+	}
+	fmt.Fprintln(w, "== KB digest ==")
+	fmt.Fprintf(w, "  facts=%d tgds=%d cdds=%d naive_conflicts=%d\n", d.Facts, d.TGDs, d.CDDs, d.NaiveConflicts)
+	preds := make([]string, 0, len(d.Predicates))
+	for p := range d.Predicates {
+		preds = append(preds, p)
+	}
+	sort.Strings(preds)
+	for _, p := range preds {
+		fmt.Fprintf(w, "  %-24s %6d facts\n", p, d.Predicates[p])
+	}
+	fmt.Fprintln(w)
+}
+
+func writeJournal(w io.Writer, b *flight.Bundle) {
+	if len(b.Journal) == 0 {
+		return
+	}
+	j, err := inquiry.UnmarshalJournal(b.Journal)
+	if err != nil {
+		fmt.Fprintf(w, "== Journal == (unreadable: %v)\n\n", err)
+		return
+	}
+	fmt.Fprintln(w, "== Journal ==")
+	phase2 := 0
+	for _, e := range j.Entries {
+		if e.Phase == 2 {
+			phase2++
+		}
+	}
+	fmt.Fprintf(w, "  strategy=%s seed=%d answers=%d (phase2=%d)", j.Strategy, j.Seed, len(j.Entries), phase2)
+	if j.Digest == nil {
+		fmt.Fprint(w, " [no KB digest header]")
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w)
+}
+
+func writeAnomalies(w io.Writer, events []event) {
+	var lines []string
+	for _, e := range events {
+		if e.Kind != "anomaly" {
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("  t=%s %s", fmtT(e.TUS), e.payload()))
+	}
+	fmt.Fprintln(w, "== Anomalies ==")
+	if len(lines) == 0 {
+		fmt.Fprintln(w, "  none")
+	}
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
+	fmt.Fprintln(w)
+}
+
+func writeTimeline(w io.Writer, events []event, tail int) {
+	fmt.Fprintln(w, "== Timeline ==")
+	start := 0
+	if tail > 0 && len(events) > tail {
+		start = len(events) - tail
+		fmt.Fprintf(w, "  ... %d earlier events elided (-tail)\n", start)
+	}
+	for _, e := range events[start:] {
+		fmt.Fprintf(w, "  #%-6d t=%-12s %-24s %s\n", e.Seq, fmtT(e.TUS), e.Kind, e.payload())
+	}
+	if len(events) == 0 {
+		fmt.Fprintln(w, "  (no events — the recorder was disabled or nothing ran)")
+	}
+	fmt.Fprintln(w)
+}
+
+// fmtT renders microseconds-since-enable in a human unit.
+func fmtT(us int64) string {
+	switch {
+	case us >= 10_000_000:
+		return fmt.Sprintf("%.2fs", float64(us)/1e6)
+	case us >= 10_000:
+		return fmt.Sprintf("%.2fms", float64(us)/1e3)
+	default:
+		return fmt.Sprintf("%dus", us)
+	}
+}
+
+// runDiff compares two bundles: manifest provenance, event-kind counts,
+// anomaly counts, KB digests and the counter deltas — the "what changed
+// between the run that worked and the run that didn't" view.
+func runDiff(w io.Writer, oldPath, newPath string) error {
+	ob, err := flight.ReadBundle(oldPath)
+	if err != nil {
+		return err
+	}
+	nb, err := flight.ReadBundle(newPath)
+	if err != nil {
+		return err
+	}
+	oldEvents, err := parseEvents(ob)
+	if err != nil {
+		return fmt.Errorf("%s: %w", oldPath, err)
+	}
+	newEvents, err := parseEvents(nb)
+	if err != nil {
+		return fmt.Errorf("%s: %w", newPath, err)
+	}
+
+	fmt.Fprintf(w, "== Diff: %s -> %s ==\n", oldPath, newPath)
+	if ob.Cmd != nb.Cmd {
+		fmt.Fprintf(w, "  cmd: %s -> %s\n", ob.Cmd, nb.Cmd)
+	}
+	if ob.Env.GoVersion != nb.Env.GoVersion {
+		fmt.Fprintf(w, "  go: %s -> %s\n", ob.Env.GoVersion, nb.Env.GoVersion)
+	}
+	if ob.Env.VCSRevision != nb.Env.VCSRevision {
+		fmt.Fprintf(w, "  revision: %s -> %s\n", ob.Env.VCSRevision, nb.Env.VCSRevision)
+	}
+	fmt.Fprintf(w, "  events recorded: %d -> %d\n", ob.EventsTotal, nb.EventsTotal)
+	fmt.Fprintln(w)
+
+	diffDigests(w, ob, nb)
+
+	fmt.Fprintln(w, "== Event kinds ==")
+	writeCountDiff(w, kindCounts(oldEvents), kindCounts(newEvents), "")
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "== Anomalies ==")
+	writeCountDiff(w, anomalyCounts(oldEvents), anomalyCounts(newEvents), "none in either bundle")
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "== Counters ==")
+	counters := func(s map[string]int64) map[string]int64 { return s }
+	writeCountDiff(w, counters(ob.Metrics.Counters), counters(nb.Metrics.Counters), "")
+	return nil
+}
+
+func diffDigests(w io.Writer, ob, nb *flight.Bundle) {
+	if len(ob.KBDigest) == 0 && len(nb.KBDigest) == 0 {
+		return
+	}
+	var od, nd core.Digest
+	oOK := json.Unmarshal(ob.KBDigest, &od) == nil && len(ob.KBDigest) > 0
+	nOK := json.Unmarshal(nb.KBDigest, &nd) == nil && len(nb.KBDigest) > 0
+	fmt.Fprintln(w, "== KB digest ==")
+	switch {
+	case oOK && nOK:
+		if d := od.Diff(nd); d != "" {
+			fmt.Fprintf(w, "  %s\n", d)
+		} else {
+			fmt.Fprintln(w, "  identical")
+		}
+	case oOK:
+		fmt.Fprintln(w, "  only the old bundle has a digest")
+	case nOK:
+		fmt.Fprintln(w, "  only the new bundle has a digest")
+	}
+	fmt.Fprintln(w)
+}
+
+func kindCounts(events []event) map[string]int64 {
+	out := make(map[string]int64)
+	for _, e := range events {
+		out[e.Kind]++
+	}
+	return out
+}
+
+func anomalyCounts(events []event) map[string]int64 {
+	out := make(map[string]int64)
+	for _, e := range events {
+		if e.Kind != "anomaly" {
+			continue
+		}
+		name := "unknown"
+		for _, f := range e.Extra {
+			if f.K == "anomaly" {
+				name, _ = f.V.(string)
+			}
+		}
+		out[name]++
+	}
+	return out
+}
+
+// writeCountDiff prints old -> new per key (union of both maps, sorted),
+// marking changed rows, or empty when both sides are empty.
+func writeCountDiff(w io.Writer, old, new map[string]int64, emptyNote string) {
+	keys := make(map[string]bool, len(old)+len(new))
+	for k := range old {
+		keys[k] = true
+	}
+	for k := range new {
+		keys[k] = true
+	}
+	if len(keys) == 0 {
+		if emptyNote != "" {
+			fmt.Fprintf(w, "  %s\n", emptyNote)
+		}
+		return
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		marker := " "
+		if old[k] != new[k] {
+			marker = "*"
+		}
+		fmt.Fprintf(w, "  %s %-36s %12d -> %-12d\n", marker, k, old[k], new[k])
+	}
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFixtureBundleGolden renders the committed fixture bundle and compares
+// the report byte-for-byte against the golden file. The fixture is
+// hand-authored (fixed timestamps, env stamp, seqs) so the output is fully
+// deterministic. Regenerate with:
+//
+//	KBDUMP_UPDATE_GOLDEN=1 go test ./cmd/kbdump/
+func TestFixtureBundleGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, filepath.Join("testdata", "fixture-bundle"), true, 0, true, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	golden := filepath.Join("testdata", "fixture.golden")
+	if os.Getenv("KBDUMP_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+		t.Logf("wrote %s (%d bytes)", golden, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("report does not match golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestFixtureBundleTail exercises the -tail elision path on the same fixture.
+func TestFixtureBundleTail(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, filepath.Join("testdata", "fixture-bundle"), true, 2, false, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"6 earlier events elided (-tail)",
+		"inquiry.answer",
+	} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Errorf("tail output missing %q:\n%s", want, out)
+		}
+	}
+	if bytes.Contains([]byte(out), []byte("chase.round_start")) {
+		t.Errorf("tail output should have elided early chase events:\n%s", out)
+	}
+}
+
+// TestFixtureBundleDiffSelf diffs the fixture against itself: provenance
+// identical, every count row unchanged (no '*' markers).
+func TestFixtureBundleDiffSelf(t *testing.T) {
+	p := filepath.Join("testdata", "fixture-bundle")
+	var buf bytes.Buffer
+	if err := runDiff(&buf, p, p); err != nil {
+		t.Fatalf("runDiff: %v", err)
+	}
+	out := buf.String()
+	if !bytes.Contains([]byte(out), []byte("identical")) {
+		t.Errorf("self-diff should report identical KB digests:\n%s", out)
+	}
+	if bytes.Contains([]byte(out), []byte("* ")) {
+		t.Errorf("self-diff should have no changed rows:\n%s", out)
+	}
+}

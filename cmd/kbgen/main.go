@@ -17,10 +17,12 @@ import (
 
 	"kbrepair"
 	"kbrepair/internal/obs"
+	"kbrepair/internal/obs/flight"
 	"kbrepair/internal/par"
 )
 
 func main() {
+	defer flight.HandlePanic()
 	var (
 		facts    = flag.Int("facts", 200, "target number of facts")
 		ratio    = flag.Float64("ratio", 0.1, "inconsistency ratio (fraction of atoms in conflicts)")
@@ -35,15 +37,24 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress the characteristics report")
 	)
 	obsCfg := obs.AddFlags(flag.CommandLine)
+	flightCfg := flight.AddFlags(flag.CommandLine)
 	workersFlag := par.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if err := obs.ValidateFlags(flag.CommandLine, "workers"); err != nil {
+		fmt.Fprintln(os.Stderr, "kbgen:", err)
+		os.Exit(2)
+	}
 	par.Configure(workersFlag)
 	flush, err := obs.SetupCLI(*obsCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kbgen:", err)
 		os.Exit(1)
 	}
+	finish := flight.Setup("kbgen", *flightCfg)
 	runErr := run(os.Stdout, *facts, *ratio, *cdds, *tgds, *depth, *joinVar, *preds, *seed, *durumVer, *outPath, *quiet)
+	if err := finish(); err != nil && runErr == nil {
+		runErr = err
+	}
 	if err := flush(); err != nil && runErr == nil {
 		runErr = err
 	}

@@ -25,10 +25,12 @@ import (
 	"kbrepair/internal/core"
 	"kbrepair/internal/inquiry"
 	"kbrepair/internal/obs"
+	"kbrepair/internal/obs/flight"
 	"kbrepair/internal/par"
 )
 
 func main() {
+	defer flight.HandlePanic()
 	var (
 		kbPath    = flag.String("kb", "", "knowledge-base file (required)")
 		stratName = flag.String("strategy", "opti-mcd", "questioning strategy: random | opti-join | opti-prop | opti-mcd")
@@ -42,8 +44,13 @@ func main() {
 		replay    = flag.String("replay", "", "answer questions by replaying a recorded session file")
 	)
 	obsCfg := obs.AddFlags(flag.CommandLine)
+	flightCfg := flight.AddFlags(flag.CommandLine)
 	workersFlag := par.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if err := obs.ValidateFlags(flag.CommandLine, "workers"); err != nil {
+		fmt.Fprintln(os.Stderr, "kbrepair:", err)
+		os.Exit(2)
+	}
 	par.Configure(workersFlag)
 	if *kbPath == "" {
 		flag.Usage()
@@ -54,7 +61,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "kbrepair:", err)
 		os.Exit(1)
 	}
+	finish := flight.Setup("kbrepair", *flightCfg)
 	runErr := run(*kbPath, *stratName, *auto, *oracleKB, *seed, *outPath, *basic, *maxValues, *journal, *replay)
+	if err := finish(); err != nil && runErr == nil {
+		runErr = err
+	}
 	if err := flush(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -71,6 +82,11 @@ func run(kbPath, stratName string, auto bool, oraclePath string, seed int64, out
 	}
 	fmt.Printf("loaded %s: %d facts, %d TGDs, %d CDDs\n",
 		kbPath, kb.Facts.Len(), len(kb.TGDs), len(kb.CDDs))
+	// Stamp debug bundles with the loaded KB's shape. The digest is computed
+	// once, here, so the provider hands the signal handler an immutable value
+	// describing the *input* KB, not a racy view of the store mid-repair.
+	digest := core.DigestKB(kb)
+	flight.SetDigestProvider(func() any { return digest })
 
 	ok, err := kb.IsConsistent()
 	if err != nil {
@@ -98,6 +114,28 @@ func run(kbPath, stratName string, auto bool, oraclePath string, seed int64, out
 		if err != nil {
 			return err
 		}
+		checked, err := j.CheckKB(kb)
+		if err != nil {
+			return fmt.Errorf("replaying %s: %w", replayPath, err)
+		}
+		if !checked {
+			fmt.Fprintf(os.Stderr, "kbrepair: warning: %s has no KB digest (recorded by an older build); cannot verify it matches %s\n",
+				replayPath, kbPath)
+		}
+		// The header pins the session: a different strategy or seed would
+		// ask different questions and abort on the first mismatch, so the
+		// recorded values win over the flags. Headerless journals (Seed 0)
+		// keep the flag values, as before the header existed.
+		if j.Strategy != "" && j.Strategy != stratName {
+			fmt.Printf("replaying with recorded strategy %s (flag said %s)\n", j.Strategy, stratName)
+			if strat, err = kbrepair.StrategyByName(j.Strategy); err != nil {
+				return err
+			}
+		}
+		if j.Seed != 0 && j.Seed != seed {
+			fmt.Printf("replaying with recorded seed %d (flag said %d)\n", j.Seed, seed)
+			seed = j.Seed
+		}
 		user = inquiry.NewReplayUser(j)
 		fmt.Printf("replaying %d recorded answers from %s\n", len(j.Entries), replayPath)
 	case oraclePath != "":
@@ -120,8 +158,13 @@ func run(kbPath, stratName string, auto bool, oraclePath string, seed int64, out
 
 	var recorder *inquiry.RecordingUser
 	if journalPath != "" {
-		recorder = inquiry.NewRecordingUser(user, stratName)
+		recorder = inquiry.NewRecordingSession(user, stratName, seed, kb)
 		user = recorder
+		// Debug bundles of a recording session include the journal-so-far;
+		// Snapshot is safe against the session appending concurrently. The
+		// provider stays installed past run() so the at-exit bundle carries
+		// the finished journal too.
+		flight.SetJournalProvider(func() any { return recorder.Snapshot() })
 	}
 	engine := kbrepair.NewEngine(kb, strat, user, seed, kbrepair.EngineOptions{MaxValuesPerPosition: maxValues})
 	var res *kbrepair.InquiryResult
@@ -134,10 +177,10 @@ func run(kbPath, stratName string, auto bool, oraclePath string, seed int64, out
 		return err
 	}
 	if recorder != nil {
-		if err := inquiry.SaveJournal(recorder.Journal, journalPath); err != nil {
+		if err := inquiry.SaveJournal(recorder.Journal(), journalPath); err != nil {
 			return err
 		}
-		fmt.Printf("recorded %d answers to %s\n", len(recorder.Journal.Entries), journalPath)
+		fmt.Printf("recorded %d answers to %s\n", len(recorder.Journal().Entries), journalPath)
 	}
 	fmt.Printf("\nrepair complete: %d questions, consistent=%v, avg delay %s\n",
 		res.Questions, res.Consistent, res.AvgDelay())

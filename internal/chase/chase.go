@@ -14,6 +14,7 @@ import (
 	"kbrepair/internal/homo"
 	"kbrepair/internal/logic"
 	"kbrepair/internal/obs"
+	"kbrepair/internal/obs/flight"
 	"kbrepair/internal/par"
 	"kbrepair/internal/store"
 )
@@ -28,6 +29,13 @@ var (
 	mFirings  = obs.NewCounter("chase.rule_firings")
 	mDerived  = obs.NewCounter("chase.facts_derived")
 	mNulls    = obs.NewCounter("chase.nulls_invented")
+	// mDeferred counts triggers that crossed a round boundary: every trigger
+	// collected in round ≥ 2 involves a fact derived the round before, i.e.
+	// it existed conceptually the moment that fact was added but — by the
+	// round-start snapshot discipline that keeps parallel collection
+	// deterministic — was deferred to the next round's scan. This quantifies
+	// the cost of the snapshot discipline (ROADMAP open item).
+	mDeferred = obs.NewCounter("chase.triggers_deferred")
 	mRunTime  = obs.NewHistogram("chase.run_seconds", obs.LatencyBuckets)
 	// gRound is the live-progress gauge read back by /statusz: the round
 	// the chase currently in flight is on, reset to 0 when the run ends so
@@ -244,6 +252,8 @@ func chaseLoop(base *store.Store, tgds []*logic.TGD, opts Options, abortPred str
 		res.Rounds++
 		mRounds.Inc()
 		gRound.Set(int64(res.Rounds))
+		flight.Record(flight.KindChaseRoundStart, int64(res.Rounds), int64(len(delta)), 0, 0)
+		flight.ObserveChaseRound(res.Rounds, opts.maxRounds())
 		if res.Rounds > opts.maxRounds() {
 			return res, fmt.Errorf("%w: more than %d rounds", ErrBudget, opts.maxRounds())
 		}
@@ -255,7 +265,18 @@ func chaseLoop(base *store.Store, tgds []*logic.TGD, opts Options, abortPred str
 		perRule := par.Map(len(tgds), func(i int) []homo.Match {
 			return collectTriggers(s, tgds[i], all, deltaSet)
 		})
+		// Every trigger surviving the delta filter in round ≥ 2 involves a
+		// fact from the previous round's delta: it was deferred across the
+		// round-start snapshot boundary.
+		var deferred int64
+		if !all {
+			for _, ms := range perRule {
+				deferred += int64(len(ms))
+			}
+			mDeferred.Add(deferred)
+		}
 		var newDelta []store.FactID
+		var firings int64
 		for ri, rule := range tgds {
 			for _, m := range perRule[ri] {
 				fired, derived, err := fire(s, rule, m, budget-len(res.Prov))
@@ -265,15 +286,18 @@ func chaseLoop(base *store.Store, tgds []*logic.TGD, opts Options, abortPred str
 				if !fired {
 					continue
 				}
+				firings++
 				for i, id := range derived {
 					res.Prov[id] = Derivation{Rule: rule, Parents: m.Facts, HeadIdx: i}
 					newDelta = append(newDelta, id)
 					if abortPred != "" && s.FactRef(id).Pred == abortPred {
+						flight.Record(flight.KindChaseRoundEnd, int64(res.Rounds), int64(len(newDelta)), deferred, firings)
 						return res, nil
 					}
 				}
 			}
 		}
+		flight.Record(flight.KindChaseRoundEnd, int64(res.Rounds), int64(len(newDelta)), deferred, firings)
 		delta = newDelta
 	}
 	return res, nil

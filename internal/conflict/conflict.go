@@ -19,6 +19,7 @@ import (
 	"kbrepair/internal/homo"
 	"kbrepair/internal/logic"
 	"kbrepair/internal/obs"
+	"kbrepair/internal/obs/flight"
 	"kbrepair/internal/par"
 	"kbrepair/internal/store"
 )
@@ -158,6 +159,7 @@ func AllNaive(base *store.Store, cdds []*logic.CDD) []*Conflict {
 		out = append(out, cs...)
 	}
 	mFound.Add(int64(len(out)))
+	flight.Record(flight.KindConflictScan, int64(len(cdds)), int64(len(out)), 0, 0)
 	return out
 }
 
@@ -224,6 +226,7 @@ func All(base *store.Store, tgds []*logic.TGD, cdds []*logic.CDD, opts chase.Opt
 		out = append(out, cs...)
 	}
 	mFound.Add(int64(len(out)))
+	flight.Record(flight.KindConflictScan, int64(len(cdds)), int64(len(out)), 1, 0)
 	return out, res, nil
 }
 

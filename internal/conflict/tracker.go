@@ -6,6 +6,7 @@ import (
 	"kbrepair/internal/homo"
 	"kbrepair/internal/logic"
 	"kbrepair/internal/obs"
+	"kbrepair/internal/obs/flight"
 	"kbrepair/internal/par"
 	"kbrepair/internal/store"
 )
@@ -108,6 +109,7 @@ func (t *Tracker) Update(id store.FactID) {
 	mUpdates.Inc()
 	tm := obs.StartTimer()
 	defer mUpdateTime.Since(tm)
+	removed := int64(len(t.byFact[id]))
 	for k := range t.byFact[id] {
 		t.remove(k)
 	}
@@ -137,11 +139,14 @@ func (t *Tracker) Update(id store.FactID) {
 	perTask := par.Map(len(tasks), func(i int) []*Conflict {
 		return t.scanPinned(id, atom, tasks[i])
 	})
+	var added int64
 	for _, cs := range perTask {
 		for _, c := range cs {
 			t.add(c)
+			added++
 		}
 	}
+	flight.Record(flight.KindTrackerUpdate, int64(id), removed, added, 0)
 }
 
 // scanPinned runs one pinned-seed homomorphism search and returns the

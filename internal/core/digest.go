@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Digest is a compact structural fingerprint of a knowledge base: the
+// counts a post-mortem reader needs to recognise which KB a debug bundle or
+// inquiry journal belongs to, without shipping the facts themselves. Two
+// KBs with different digests are certainly different; equal digests mean
+// "same shape" — good enough to catch the common replay mistake of pointing
+// a journal at the wrong input file.
+type Digest struct {
+	// Facts is the number of live facts, TGDs and CDDs the rule counts.
+	Facts int `json:"facts"`
+	TGDs  int `json:"tgds"`
+	CDDs  int `json:"cdds"`
+	// Predicates maps each predicate name to its live fact count.
+	Predicates map[string]int `json:"predicates,omitempty"`
+	// NaiveConflicts is the number of CDD violations on the stored facts
+	// alone (no chase) — cheap to compute and very sensitive to edits.
+	NaiveConflicts int `json:"naive_conflicts"`
+}
+
+// DigestKB fingerprints kb. It runs the naive conflict scan, so the cost is
+// one pass over the CDDs against the stored facts — fine at session start,
+// not meant for a per-question loop.
+func DigestKB(kb *KB) Digest {
+	d := Digest{
+		Facts: kb.Facts.Len(),
+		TGDs:  len(kb.TGDs),
+		CDDs:  len(kb.CDDs),
+	}
+	preds := kb.Facts.Predicates()
+	if len(preds) > 0 {
+		d.Predicates = make(map[string]int, len(preds))
+		for _, p := range preds {
+			d.Predicates[p] = len(kb.Facts.ByPredicate(p))
+		}
+	}
+	d.NaiveConflicts = len(kb.NaiveConflicts())
+	return d
+}
+
+// Diff describes how o differs from d, one clause per mismatching field,
+// in a stable order. It returns "" when the digests match — callers use it
+// both as an equality test and as the error detail when they don't.
+func (d Digest) Diff(o Digest) string {
+	var parts []string
+	add := func(what string, a, b int) {
+		if a != b {
+			parts = append(parts, fmt.Sprintf("%s %d vs %d", what, a, b))
+		}
+	}
+	add("facts", d.Facts, o.Facts)
+	add("tgds", d.TGDs, o.TGDs)
+	add("cdds", d.CDDs, o.CDDs)
+	add("naive conflicts", d.NaiveConflicts, o.NaiveConflicts)
+
+	names := make(map[string]bool, len(d.Predicates)+len(o.Predicates))
+	for p := range d.Predicates {
+		names[p] = true
+	}
+	for p := range o.Predicates {
+		names[p] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for p := range names {
+		sorted = append(sorted, p)
+	}
+	sort.Strings(sorted)
+	for _, p := range sorted {
+		add("predicate "+p, d.Predicates[p], o.Predicates[p])
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"kbrepair/internal/logic"
+	"kbrepair/internal/store"
+)
+
+func digestKB(t *testing.T) *KB {
+	t.Helper()
+	facts := store.MustFromAtoms([]logic.Atom{
+		logic.NewAtom("emp", logic.C("ann"), logic.C("sales")),
+		logic.NewAtom("emp", logic.C("bob"), logic.C("hr")),
+		logic.NewAtom("dept", logic.C("sales")),
+	})
+	// One CDD: no employee in "hr" — violated by bob.
+	cdd := &logic.CDD{
+		Label: "no_hr",
+		Body:  []logic.Atom{logic.NewAtom("emp", logic.V("x"), logic.C("hr"))},
+	}
+	return MustKB(facts, nil, []*logic.CDD{cdd})
+}
+
+func TestDigestKB(t *testing.T) {
+	d := DigestKB(digestKB(t))
+	if d.Facts != 3 || d.TGDs != 0 || d.CDDs != 1 {
+		t.Fatalf("digest counts = %+v", d)
+	}
+	if d.Predicates["emp"] != 2 || d.Predicates["dept"] != 1 {
+		t.Fatalf("predicate counts = %v", d.Predicates)
+	}
+	if d.NaiveConflicts != 1 {
+		t.Fatalf("naive conflicts = %d, want 1", d.NaiveConflicts)
+	}
+}
+
+func TestDigestDiff(t *testing.T) {
+	kb := digestKB(t)
+	d := DigestKB(kb)
+	if got := d.Diff(d); got != "" {
+		t.Fatalf("self-diff = %q, want empty", got)
+	}
+
+	other := kb.Clone()
+	other.Facts.MustAdd(logic.NewAtom("dept", logic.C("hr")))
+	od := DigestKB(other)
+	diff := d.Diff(od)
+	if !strings.Contains(diff, "facts 3 vs 4") {
+		t.Errorf("diff misses fact count: %q", diff)
+	}
+	if !strings.Contains(diff, "predicate dept 1 vs 2") {
+		t.Errorf("diff misses predicate count: %q", diff)
+	}
+	if strings.Contains(diff, "tgds") {
+		t.Errorf("diff reports unchanged field: %q", diff)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"kbrepair/internal/chase"
 	"kbrepair/internal/logic"
 	"kbrepair/internal/obs"
+	"kbrepair/internal/obs/flight"
 	"kbrepair/internal/store"
 )
 
@@ -160,15 +161,22 @@ func (pc *PiChecker) CheckWithFix(pi Pi, f Fix) (bool, error) {
 func (pc *PiChecker) CheckBatch(pi Pi, fixes []Fix) ([]bool, error) {
 	out := make([]bool, len(fixes))
 	var nulled *store.Store
+	var fastHits, fullChecks, accepted int64
+	defer func() {
+		flight.Record(flight.KindPiBatch, fastHits, fullChecks, accepted, 0)
+	}()
 	for i, f := range fixes {
 		if pc.Optimized && pc.fastSafe(pi, f) {
 			pc.FastHits++
 			mPiFast.Inc()
+			fastHits++
+			accepted++
 			out[i] = true
 			continue
 		}
 		pc.FullChecks++
 		mPiFull.Inc()
+		fullChecks++
 		if f.Pos.Arg < 0 || !pc.kb.Facts.Valid(f.Pos.Fact) || f.Pos.Arg >= pc.kb.Facts.Arity(f.Pos.Fact) {
 			return nil, fmt.Errorf("pirep: position %s out of range", f.Pos)
 		}
@@ -187,6 +195,9 @@ func (pc *PiChecker) CheckBatch(pi Pi, fixes []Fix) ([]bool, error) {
 		nulled.MustSetValue(f.Pos, prev)
 		if err != nil {
 			return nil, err
+		}
+		if ok {
+			accepted++
 		}
 		out[i] = ok
 	}

@@ -1,0 +1,99 @@
+package inquiry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"kbrepair/internal/core"
+	"kbrepair/internal/obs"
+	"kbrepair/internal/obs/flight"
+)
+
+// TestDebugzDuringRepair scrapes /debugz from inside the user callback —
+// mid-question, the moment a stuck session would be probed — and asserts
+// the served bundle carries the flight events of the session so far, the
+// provider-supplied KB digest and the journal-so-far.
+func TestDebugzDuringRepair(t *testing.T) {
+	flight.Enable(1024)
+	t.Cleanup(flight.Disable)
+	srv := httptest.NewServer(obs.DebugMux())
+	defer srv.Close()
+
+	kb := fig1bKB(t)
+	digest := core.DigestKB(kb)
+	flight.SetDigestProvider(func() any { return digest })
+	t.Cleanup(func() { flight.SetDigestProvider(nil) })
+
+	rec := NewRecordingSession(NewSimulatedUser(3), "random", 3, kb)
+	flight.SetJournalProvider(func() any { return rec.Snapshot() })
+	t.Cleanup(func() { flight.SetJournalProvider(nil) })
+
+	var mid *flight.Bundle
+	user := FuncUser(func(kb *core.KB, q Question) (core.Fix, error) {
+		if mid == nil {
+			resp, err := http.Get(srv.URL + "/debugz?reason=test")
+			if err != nil {
+				t.Errorf("GET /debugz: %v", err)
+				return rec.Choose(kb, q)
+			}
+			defer resp.Body.Close()
+			var b flight.Bundle
+			if err := json.NewDecoder(resp.Body).Decode(&b); err != nil {
+				t.Errorf("debugz mid-repair is not a bundle: %v", err)
+				return rec.Choose(kb, q)
+			}
+			mid = &b
+		}
+		return rec.Choose(kb, q)
+	})
+
+	e := New(kb, Random{}, user, 1, Options{})
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consistent {
+		t.Fatal("repair did not converge")
+	}
+	if mid == nil {
+		t.Fatal("user callback never scraped /debugz — KB was not inconsistent?")
+	}
+
+	if mid.Reason != "http:test" {
+		t.Errorf("bundle reason = %q, want http:test", mid.Reason)
+	}
+	kinds := make(map[string]int)
+	for _, raw := range mid.Events {
+		var ev struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			t.Fatalf("bundle event is not JSON: %v\n%s", err, raw)
+		}
+		kinds[ev.Kind]++
+	}
+	for _, want := range []string{"inquiry.session_start", "inquiry.question", "conflict.scan"} {
+		if kinds[want] == 0 {
+			t.Errorf("mid-repair bundle has no %s event (kinds: %v)", want, kinds)
+		}
+	}
+	var d core.Digest
+	if err := json.Unmarshal(mid.KBDigest, &d); err != nil {
+		t.Fatalf("bundle KB digest unreadable: %v (%s)", err, mid.KBDigest)
+	}
+	if d.Facts != digest.Facts || d.CDDs != digest.CDDs {
+		t.Errorf("bundle digest = %+v, want %+v", d, digest)
+	}
+	var j Journal
+	if err := json.Unmarshal(mid.Journal, &j); err != nil {
+		t.Fatalf("bundle journal unreadable: %v (%s)", err, mid.Journal)
+	}
+	if j.Strategy != "random" || j.Seed != 3 || j.Digest == nil {
+		t.Errorf("bundle journal header = strategy=%q seed=%d digest=%v", j.Strategy, j.Seed, j.Digest)
+	}
+	if mid.Goroutines == "" {
+		t.Error("bundle has no goroutine stacks")
+	}
+}

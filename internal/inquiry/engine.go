@@ -9,6 +9,7 @@ import (
 	"kbrepair/internal/conflict"
 	"kbrepair/internal/core"
 	"kbrepair/internal/obs"
+	"kbrepair/internal/obs/flight"
 )
 
 // Dialogue instrumentation. The per-question delay histogram carries the
@@ -260,6 +261,8 @@ func (e *Engine) ask(cs []*conflict.Conflict, x *conflict.Conflict, phase int) (
 			obs.Int("conflicts", len(cs)),
 			obs.Int64("delay_us", delay.Microseconds()))
 	}
+	flight.Record(flight.KindQuestion, int64(phase), int64(len(fixes)), int64(len(cs)), delay.Microseconds())
+	flight.ObserveQuestion(phase, len(cs), delay)
 	f, err := e.User.Choose(e.KB, q)
 	if err != nil {
 		return nil, Round{}, fmt.Errorf("user failed on question with %d fixes: %w", len(fixes), err)
@@ -271,6 +274,7 @@ func (e *Engine) ask(cs []*conflict.Conflict, x *conflict.Conflict, phase int) (
 		return nil, Round{}, err
 	}
 	e.Pi.Add(f.Pos)
+	recordAnswer(f)
 	return positions, Round{
 		Phase:           phase,
 		QuestionSize:    len(fixes),
@@ -279,6 +283,28 @@ func (e *Engine) ask(cs []*conflict.Conflict, x *conflict.Conflict, phase int) (
 		SeriesConflicts: -1,
 		Delay:           delay,
 	}, nil
+}
+
+// recordAnswer flight-records a chosen fix. The value is only stringified
+// when a recorder is active: the disabled path must not allocate.
+func recordAnswer(f core.Fix) {
+	if !flight.Active() {
+		return
+	}
+	var isNull int64
+	if f.Value.IsNull() {
+		isNull = 1
+	}
+	flight.RecordNote(flight.KindAnswer, int64(f.Pos.Fact), int64(f.Pos.Arg), isNull, f.Value.String())
+}
+
+// sessionStart resets the anomaly watchdogs and flight-records the opening
+// state of an inquiry session.
+func sessionStart(strategy string, facts, naive, total int) {
+	flight.SessionBegin()
+	if flight.Active() {
+		flight.RecordNote(flight.KindSessionStart, int64(facts), int64(naive), int64(total), strategy)
+	}
 }
 
 // Run executes the two-phase strategy inquiry (Algorithm 4): phase one
@@ -301,6 +327,7 @@ func (e *Engine) Run() (*Result, error) {
 	} else {
 		return nil, err
 	}
+	sessionStart(res.Strategy, e.KB.Facts.Len(), res.InitialNaive, res.InitialTotal)
 
 	record := func(rd Round, f core.Fix) error {
 		if e.Opts.TrackConflictSeries {
@@ -398,6 +425,7 @@ func (e *Engine) RunBasic() (*Result, error) {
 	} else {
 		return nil, err
 	}
+	sessionStart(res.Strategy, e.KB.Facts.Len(), res.InitialNaive, res.InitialTotal)
 	for {
 		cs, _, err := e.KB.AllConflicts()
 		if err != nil {
@@ -423,6 +451,8 @@ func (e *Engine) RunBasic() (*Result, error) {
 		gAsked.Add(1)
 		mPhase1.Inc()
 		hDelay.Observe(delay.Seconds())
+		flight.Record(flight.KindQuestion, 1, int64(len(fixes)), int64(len(cs)), delay.Microseconds())
+		flight.ObserveQuestion(1, len(cs), delay)
 		f, err := e.User.Choose(e.KB, q)
 		if err != nil {
 			return res, err
@@ -434,6 +464,7 @@ func (e *Engine) RunBasic() (*Result, error) {
 			return res, err
 		}
 		e.Pi.Add(f.Pos)
+		recordAnswer(f)
 		res.Rounds = append(res.Rounds, Round{
 			Phase:           1,
 			QuestionSize:    len(fixes),

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sync"
 
 	"kbrepair/internal/core"
 	"kbrepair/internal/logic"
@@ -14,9 +15,36 @@ import (
 // fixes and the user's choice — so a repair can be audited or replayed
 // verbatim on a fresh copy of the knowledge base. Sessions serialize to
 // JSON.
+//
+// Seed and Digest form the session header. A journal is only meaningful
+// against the exact KB it was recorded on (fact ids and offered-fix order
+// are positional), so replay checks the header digest against the loaded KB
+// and fails fast on mismatch rather than diverging mid-replay. Journals
+// recorded before the header existed have a nil Digest and load with a
+// warning instead (see CheckKB).
 type Journal struct {
-	Strategy string         `json:"strategy"`
-	Entries  []JournalEntry `json:"entries"`
+	Strategy string `json:"strategy"`
+	// Seed is the RNG seed of the recorded session; replays of seed-driven
+	// strategies must rerun with the same seed to see the same questions.
+	Seed int64 `json:"seed,omitempty"`
+	// Digest fingerprints the KB the session was recorded on; nil in
+	// journals from before the header existed.
+	Digest  *core.Digest   `json:"kb_digest,omitempty"`
+	Entries []JournalEntry `json:"entries"`
+}
+
+// CheckKB verifies the journal was recorded against (a KB shaped like) kb.
+// It returns checked=false when the journal predates the header and has no
+// digest — the caller should warn and proceed — and an error when the
+// digest exists and does not match.
+func (j *Journal) CheckKB(kb *core.KB) (checked bool, err error) {
+	if j.Digest == nil {
+		return false, nil
+	}
+	if diff := j.Digest.Diff(core.DigestKB(kb)); diff != "" {
+		return true, fmt.Errorf("journal: KB does not match the recorded session (%s)", diff)
+	}
+	return true, nil
 }
 
 // JournalEntry is one question/answer exchange.
@@ -99,15 +127,43 @@ func LoadJournal(path string) (*Journal, error) {
 }
 
 // RecordingUser wraps any user and appends every exchange to a journal.
+// The journal is mutated under a mutex so Snapshot may be called from
+// another goroutine mid-session — the debug-bundle dumper captures the
+// journal-so-far from a signal handler while the session is still asking.
 type RecordingUser struct {
-	User    User
-	Journal *Journal
+	User User
+
+	mu      sync.Mutex
+	journal *Journal
 }
 
 // NewRecordingUser wraps a user with a fresh journal.
 func NewRecordingUser(u User, strategy string) *RecordingUser {
-	return &RecordingUser{User: u, Journal: &Journal{Strategy: strategy}}
+	return &RecordingUser{User: u, journal: &Journal{Strategy: strategy}}
 }
+
+// NewRecordingSession is NewRecordingUser plus the session header: the RNG
+// seed and a digest of the KB the session starts from. Record before the
+// first question mutates the store, or the digest will describe a
+// half-repaired KB.
+func NewRecordingSession(u User, strategy string, seed int64, kb *core.KB) *RecordingUser {
+	d := core.DigestKB(kb)
+	return &RecordingUser{User: u, journal: &Journal{Strategy: strategy, Seed: seed, Digest: &d}}
+}
+
+// Snapshot returns a deep copy of the journal as recorded so far; safe to
+// call concurrently with an in-flight session.
+func (r *RecordingUser) Snapshot() *Journal {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cp := *r.journal
+	cp.Entries = append([]JournalEntry(nil), r.journal.Entries...)
+	return &cp
+}
+
+// Journal returns the live journal. Only read it after the session is done;
+// use Snapshot while one is running.
+func (r *RecordingUser) Journal() *Journal { return r.journal }
 
 // Choose implements User.
 func (r *RecordingUser) Choose(kb *core.KB, q Question) (core.Fix, error) {
@@ -125,7 +181,9 @@ func (r *RecordingUser) Choose(kb *core.KB, q Question) (core.Fix, error) {
 	if entry.Chosen < 0 {
 		return f, fmt.Errorf("journal: user chose a fix outside the question")
 	}
-	r.Journal.Entries = append(r.Journal.Entries, entry)
+	r.mu.Lock()
+	r.journal.Entries = append(r.journal.Entries, entry)
+	r.mu.Unlock()
 	return f, nil
 }
 

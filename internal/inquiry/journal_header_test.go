@@ -1,0 +1,81 @@
+package inquiry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestJournalHeaderReplay records a session with the digest header and
+// replays it against a fresh copy of the same KB: CheckKB must pass and the
+// replay must reproduce the repair.
+func TestJournalHeaderReplay(t *testing.T) {
+	kb := fig1bKB(t)
+	fresh := kb.Clone()
+
+	rec := NewRecordingSession(NewSimulatedUser(4), "opti-join", 4, kb)
+	e := New(kb, OptiJoin{}, rec, 2, Options{})
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := rec.Journal()
+	if j.Seed != 4 || j.Digest == nil {
+		t.Fatalf("header not recorded: seed=%d digest=%v", j.Seed, j.Digest)
+	}
+	if j.Digest.Facts != fresh.Facts.Len() {
+		t.Fatalf("digest facts = %d, want %d (must describe the input KB, not the repaired one)",
+			j.Digest.Facts, fresh.Facts.Len())
+	}
+
+	checked, err := j.CheckKB(fresh)
+	if err != nil || !checked {
+		t.Fatalf("CheckKB(same KB) = %v, %v; want checked, nil", checked, err)
+	}
+	e2 := New(fresh, OptiJoin{}, NewReplayUser(j), 2, Options{})
+	res2, err := e2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Questions != res.Questions || !res2.Consistent {
+		t.Fatalf("replay diverged: %d questions consistent=%v, recorded %d",
+			res2.Questions, res2.Consistent, res.Questions)
+	}
+}
+
+// TestJournalHeaderMismatch: pointing a journal at a differently shaped KB
+// must fail fast with the digest diff, before any fix is applied.
+func TestJournalHeaderMismatch(t *testing.T) {
+	kb := fig1bKB(t)
+	rec := NewRecordingSession(NewSimulatedUser(4), "random", 4, kb)
+	j := rec.Journal()
+
+	other := fig1bKB(t)
+	other.Facts.MustAdd(other.Facts.FactRef(0)) // same predicate, one more fact
+	checked, err := j.CheckKB(other)
+	if !checked {
+		t.Fatal("digest present but CheckKB reported unchecked")
+	}
+	if err == nil || !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("CheckKB(mismatched KB) = %v, want a mismatch error", err)
+	}
+	if !strings.Contains(err.Error(), "facts") {
+		t.Errorf("mismatch error does not name the differing field: %v", err)
+	}
+}
+
+// TestJournalHeaderless: journals recorded before the header existed load
+// and replay, with the check reported as skipped.
+func TestJournalHeaderless(t *testing.T) {
+	data := []byte(`{"strategy": "random", "entries": []}`)
+	j, err := UnmarshalJournal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, err := j.CheckKB(fig1bKB(t))
+	if err != nil {
+		t.Fatalf("headerless journal rejected: %v", err)
+	}
+	if checked {
+		t.Fatal("headerless journal reported as digest-checked")
+	}
+}

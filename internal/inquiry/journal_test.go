@@ -16,12 +16,12 @@ func TestJournalRecordAndReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rec.Journal.Entries) != res.Questions {
-		t.Fatalf("journal entries = %d, questions = %d", len(rec.Journal.Entries), res.Questions)
+	if len(rec.Journal().Entries) != res.Questions {
+		t.Fatalf("journal entries = %d, questions = %d", len(rec.Journal().Entries), res.Questions)
 	}
 
 	// Round-trip through JSON.
-	data, err := rec.Journal.Marshal()
+	data, err := rec.Journal().Marshal()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +29,7 @@ func TestJournalRecordAndReplay(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if j2.Strategy != "opti-join" || len(j2.Entries) != len(rec.Journal.Entries) {
+	if j2.Strategy != "opti-join" || len(j2.Entries) != len(rec.Journal().Entries) {
 		t.Fatal("journal round trip lost data")
 	}
 
@@ -63,14 +63,14 @@ func TestJournalSaveLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "session.json")
-	if err := SaveJournal(rec.Journal, path); err != nil {
+	if err := SaveJournal(rec.Journal(), path); err != nil {
 		t.Fatal(err)
 	}
 	loaded, err := LoadJournal(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(loaded.Entries) != len(rec.Journal.Entries) {
+	if len(loaded.Entries) != len(rec.Journal().Entries) {
 		t.Error("save/load changed entry count")
 	}
 	if _, err := LoadJournal(filepath.Join(t.TempDir(), "missing.json")); err == nil {

@@ -24,9 +24,26 @@ func PublishExpvar() {
 	})
 }
 
+// extraHandlers are debug-server routes contributed by packages obs cannot
+// import (layering: they import obs). internal/obs/flight registers /debugz
+// here from its init, so any process linking flight serves bundles.
+var (
+	extraMu       sync.Mutex
+	extraHandlers = map[string]http.Handler{}
+)
+
+// RegisterDebugHandler mounts a handler on every DebugMux built afterwards.
+// Registering the same pattern twice keeps the latest handler.
+func RegisterDebugHandler(pattern string, h http.Handler) {
+	extraMu.Lock()
+	defer extraMu.Unlock()
+	extraHandlers[pattern] = h
+}
+
 // DebugMux builds the debug server's routing table: pprof handlers
 // (/debug/pprof/...), expvar (/debug/vars), the Prometheus exposition of
-// the default registry (/metrics) and the live run status (/statusz).
+// the default registry (/metrics), the live run status (/statusz), and any
+// registered extra handlers (/debugz when internal/obs/flight is linked).
 // It is exported so tests can mount it on an httptest.Server.
 func DebugMux() *http.ServeMux {
 	PublishExpvar()
@@ -39,6 +56,11 @@ func DebugMux() *http.ServeMux {
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.Handle("/metrics", MetricsHandler())
 	mux.Handle("/statusz", StatuszHandler())
+	extraMu.Lock()
+	for p, h := range extraHandlers {
+		mux.Handle(p, h)
+	}
+	extraMu.Unlock()
 	return mux
 }
 

@@ -1,0 +1,419 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kbrepair/internal/obs"
+)
+
+// BundleSchemaVersion identifies the debug-bundle layout; bump on breaking
+// changes so kbdump can refuse files it cannot interpret.
+const BundleSchemaVersion = 1
+
+// Env is the build/flag/environment stamp of a bundle: enough to tell
+// which binary, on which machine, with which invocation produced it.
+type Env struct {
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	PID         int    `json:"pid"`
+	Hostname    string `json:"hostname,omitempty"`
+	VCSRevision string `json:"vcs_revision,omitempty"`
+}
+
+// CurrentEnv captures the running process's environment stamp.
+func CurrentEnv() Env {
+	host, _ := os.Hostname()
+	e := Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		PID:        os.Getpid(),
+		Hostname:   host,
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				e.VCSRevision = s.Value
+			}
+		}
+	}
+	return e
+}
+
+// Manifest is the bundle header: schema, provenance and section inventory.
+type Manifest struct {
+	SchemaVersion  int      `json:"schema_version"`
+	CreatedUnix    int64    `json:"created_unix"`
+	Reason         string   `json:"reason"`
+	Cmd            string   `json:"cmd,omitempty"`
+	Args           []string `json:"args,omitempty"`
+	Env            Env      `json:"env"`
+	EventsTotal    uint64   `json:"events_total"`
+	EventsRetained int      `json:"events_retained"`
+	Sections       []string `json:"sections"`
+}
+
+// Bundle is a captured post-mortem document. As a directory (WriteDir) each
+// section is its own file; over /debugz it is served as this single JSON
+// object. Events are kept as raw JSON lines so the two forms round-trip.
+type Bundle struct {
+	Manifest
+	Events     []json.RawMessage `json:"events"`
+	Metrics    obs.Snapshot      `json:"metrics"`
+	Goroutines string            `json:"goroutines"`
+	KBDigest   json.RawMessage   `json:"kb_digest,omitempty"`
+	Journal    json.RawMessage   `json:"journal,omitempty"`
+}
+
+// providers supply the KB-shaped sections the flight package cannot compute
+// itself (it must not depend on core/inquiry — they depend on it). The
+// returned values are marshaled at capture time, so providers must be safe
+// to call from the signal-handler goroutine: return immutable values or an
+// internally synchronized snapshot.
+var (
+	providerMu      sync.Mutex
+	digestProvider  func() any
+	journalProvider func() any
+	bundleCmd       string
+)
+
+// SetDigestProvider installs the KB-digest section source (nil clears it).
+// The CLIs call it once the KB is loaded, with a precomputed digest.
+func SetDigestProvider(fn func() any) {
+	providerMu.Lock()
+	defer providerMu.Unlock()
+	digestProvider = fn
+}
+
+// SetJournalProvider installs the inquiry-journal section source (nil
+// clears it). The provider is invoked concurrently with the session —
+// it must return a synchronized snapshot.
+func SetJournalProvider(fn func() any) {
+	providerMu.Lock()
+	defer providerMu.Unlock()
+	journalProvider = fn
+}
+
+// setCmd stamps the command name used in manifests and fallback dump paths.
+func setCmd(name string) {
+	providerMu.Lock()
+	defer providerMu.Unlock()
+	bundleCmd = name
+}
+
+func marshalSection(fn func() any) json.RawMessage {
+	if fn == nil {
+		return nil
+	}
+	v := fn()
+	if v == nil {
+		return nil
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		data, _ = json.Marshal(map[string]string{"error": err.Error()})
+	}
+	return data
+}
+
+// Capture assembles a bundle from the current process state: the flight
+// ring (empty if the recorder is disabled), a metrics snapshot of the
+// default registry, all goroutine stacks, the environment stamp and the
+// provider-supplied KB digest and inquiry journal. It also records a
+// KindBundleDump event so later bundles show this capture in their
+// timeline.
+func Capture(reason string) *Bundle {
+	RecordNote(KindBundleDump, 0, 0, 0, reason)
+	providerMu.Lock()
+	digFn, jrnFn, cmd := digestProvider, journalProvider, bundleCmd
+	providerMu.Unlock()
+
+	b := &Bundle{
+		Manifest: Manifest{
+			SchemaVersion: BundleSchemaVersion,
+			CreatedUnix:   time.Now().Unix(),
+			Reason:        reason,
+			Cmd:           cmd,
+			Args:          os.Args,
+			Env:           CurrentEnv(),
+		},
+		Metrics:    obs.Default().Snapshot(),
+		Goroutines: allStacks(),
+		KBDigest:   marshalSection(digFn),
+		Journal:    marshalSection(jrnFn),
+	}
+	if r := Current(); r != nil {
+		events := r.Events()
+		b.EventsTotal = r.Total()
+		b.EventsRetained = len(events)
+		b.Events = make([]json.RawMessage, len(events))
+		for i, e := range events {
+			b.Events[i] = json.RawMessage(e.JSON())
+		}
+	}
+	b.Sections = b.sections()
+	return b
+}
+
+func (b *Bundle) sections() []string {
+	s := []string{"events.jsonl", "metrics.json", "goroutines.txt", "manifest.json"}
+	if len(b.KBDigest) > 0 {
+		s = append(s, "kb_digest.json")
+	}
+	if len(b.Journal) > 0 {
+		s = append(s, "journal.json")
+	}
+	return s
+}
+
+// allStacks returns the stacks of every goroutine, growing the buffer until
+// the dump fits.
+func allStacks() string {
+	buf := make([]byte, 1<<18)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			return string(buf[:n])
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+}
+
+// WriteJSON writes the bundle as one JSON document (the /debugz format).
+func (b *Bundle) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// WriteDir writes the bundle as a directory of section files:
+//
+//	manifest.json   schema, reason, cmd/args, env stamp, event counts
+//	events.jsonl    the retained flight events, oldest first, one per line
+//	metrics.json    obs registry snapshot
+//	goroutines.txt  all goroutine stacks
+//	kb_digest.json  predicate/rule/conflict digest of the loaded KB (if set)
+//	journal.json    the inquiry journal so far (if set)
+//
+// The directory is created if needed. Existing section files are
+// overwritten, so repeated dumps to the same directory keep the latest.
+func (b *Bundle) WriteDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("debug bundle: %w", err)
+	}
+	var events bytes.Buffer
+	for _, e := range b.Events {
+		events.Write(e)
+		events.WriteByte('\n')
+	}
+	manifest, err := json.MarshalIndent(b.Manifest, "", "  ")
+	if err != nil {
+		return fmt.Errorf("debug bundle: %w", err)
+	}
+	metrics, err := json.MarshalIndent(b.Metrics, "", "  ")
+	if err != nil {
+		return fmt.Errorf("debug bundle: %w", err)
+	}
+	files := map[string][]byte{
+		"manifest.json":  append(manifest, '\n'),
+		"events.jsonl":   events.Bytes(),
+		"metrics.json":   append(metrics, '\n'),
+		"goroutines.txt": []byte(b.Goroutines),
+	}
+	if len(b.KBDigest) > 0 {
+		files["kb_digest.json"] = append(append([]byte(nil), b.KBDigest...), '\n')
+	}
+	if len(b.Journal) > 0 {
+		files["journal.json"] = append(append([]byte(nil), b.Journal...), '\n')
+	}
+	for name, data := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+			return fmt.Errorf("debug bundle: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadBundle loads a bundle from a directory written by WriteDir or from a
+// single-document JSON file (the /debugz format) — kbdump accepts both.
+func ReadBundle(path string) (*Bundle, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("debug bundle: %w", err)
+	}
+	if !fi.IsDir() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("debug bundle: %w", err)
+		}
+		var b Bundle
+		if err := json.Unmarshal(data, &b); err != nil {
+			return nil, fmt.Errorf("debug bundle %s: %w", path, err)
+		}
+		if b.SchemaVersion != BundleSchemaVersion {
+			return nil, fmt.Errorf("debug bundle %s: schema version %d, this binary reads %d",
+				path, b.SchemaVersion, BundleSchemaVersion)
+		}
+		return &b, nil
+	}
+
+	var b Bundle
+	manifest, err := os.ReadFile(filepath.Join(path, "manifest.json"))
+	if err != nil {
+		return nil, fmt.Errorf("debug bundle %s: %w", path, err)
+	}
+	if err := json.Unmarshal(manifest, &b.Manifest); err != nil {
+		return nil, fmt.Errorf("debug bundle %s: manifest: %w", path, err)
+	}
+	if b.SchemaVersion != BundleSchemaVersion {
+		return nil, fmt.Errorf("debug bundle %s: schema version %d, this binary reads %d",
+			path, b.SchemaVersion, BundleSchemaVersion)
+	}
+	if data, err := os.ReadFile(filepath.Join(path, "events.jsonl")); err == nil {
+		for _, line := range bytes.Split(data, []byte("\n")) {
+			line = bytes.TrimSpace(line)
+			if len(line) == 0 {
+				continue
+			}
+			if !json.Valid(line) {
+				return nil, fmt.Errorf("debug bundle %s: events.jsonl holds an invalid line: %.80s", path, line)
+			}
+			b.Events = append(b.Events, json.RawMessage(append([]byte(nil), line...)))
+		}
+	}
+	if data, err := os.ReadFile(filepath.Join(path, "metrics.json")); err == nil {
+		if err := json.Unmarshal(data, &b.Metrics); err != nil {
+			return nil, fmt.Errorf("debug bundle %s: metrics: %w", path, err)
+		}
+	}
+	if data, err := os.ReadFile(filepath.Join(path, "goroutines.txt")); err == nil {
+		b.Goroutines = string(data)
+	}
+	if data, err := os.ReadFile(filepath.Join(path, "kb_digest.json")); err == nil {
+		b.KBDigest = json.RawMessage(bytes.TrimSpace(data))
+	}
+	if data, err := os.ReadFile(filepath.Join(path, "journal.json")); err == nil {
+		b.Journal = json.RawMessage(bytes.TrimSpace(data))
+	}
+	return &b, nil
+}
+
+// Config is the post-mortem surface the CLIs expose as flags.
+type Config struct {
+	// BundleDir, when non-empty, receives a debug bundle at exit (and names
+	// the target of signal/panic dumps). Empty leaves signal/panic dumps to
+	// a per-process fallback under the OS temp directory.
+	BundleDir string
+	// Events is the flight-recorder capacity; 0 means DefaultCapacity and
+	// < 0 disables the recorder entirely.
+	Events int
+}
+
+// AddFlags registers the shared post-mortem flags on fs, mirroring
+// obs.AddFlags so every CLI exposes an identical surface.
+func AddFlags(fs *flag.FlagSet) *Config {
+	c := &Config{}
+	fs.StringVar(&c.BundleDir, "debug-bundle", "",
+		"write a post-mortem debug bundle to this directory at exit (signal/panic dumps also land here)")
+	fs.IntVar(&c.Events, "flight-events", 0,
+		fmt.Sprintf("flight recorder capacity in events (0 = %d, negative disables)", DefaultCapacity))
+	return c
+}
+
+// dumpDir resolves where unsolicited (signal, panic) bundles go: the
+// configured -debug-bundle directory, or a per-process directory under the
+// OS temp dir so a crash always leaves something to inspect.
+func (c Config) dumpDir(cmd string) string {
+	if c.BundleDir != "" {
+		return c.BundleDir
+	}
+	return filepath.Join(os.TempDir(), fmt.Sprintf("%s-bundle-%d", cmd, os.Getpid()))
+}
+
+// Setup wires the post-mortem machinery for a CLI: enables the always-on
+// flight recorder (unless c.Events < 0), installs the SIGQUIT/SIGUSR1 dump
+// handler, and returns the finish function main calls once on exit — it
+// writes the at-exit bundle when -debug-bundle was given, else does
+// nothing. Pair it with a deferred HandlePanic() in main.
+func Setup(cmd string, c Config) (finish func() error) {
+	setCmd(cmd)
+	if c.Events >= 0 {
+		Enable(c.Events)
+	}
+	dir := c.dumpDir(cmd)
+	panicDir.Store(&dir)
+	notifySignals(dir)
+	if c.BundleDir == "" {
+		return func() error { return nil }
+	}
+	return func() error {
+		if err := Capture("exit").WriteDir(c.BundleDir); err != nil {
+			return err
+		}
+		return nil
+	}
+}
+
+// panicDir is where HandlePanic and the signal handler write; set by Setup.
+var panicDir atomic.Pointer[string]
+
+// HandlePanic is deferred at the top of each CLI's main: on a panic it
+// captures a "panic" bundle (with the panic value stamped into the reason)
+// and re-panics so the process still crashes loudly with the original
+// stack. On the normal path it is a no-op.
+func HandlePanic() {
+	r := recover()
+	if r == nil {
+		return
+	}
+	var dir string
+	if p := panicDir.Load(); p != nil {
+		dir = *p
+	}
+	if dir == "" {
+		dir = filepath.Join(os.TempDir(), fmt.Sprintf("kbrepair-bundle-%d", os.Getpid()))
+	}
+	reason := fmt.Sprintf("panic: %v", r)
+	if err := Capture(reason).WriteDir(dir); err != nil {
+		fmt.Fprintf(os.Stderr, "flight: panic bundle: %v\n", err)
+	} else {
+		fmt.Fprintf(os.Stderr, "flight: wrote panic debug bundle to %s\n", dir)
+	}
+	panic(r)
+}
+
+// debugzHandler serves the current bundle as a single JSON document — the
+// on-demand dump of a live process, mounted at /debugz on obs.DebugMux.
+func debugzHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		reason := "http"
+		if q := strings.TrimSpace(req.URL.Query().Get("reason")); q != "" {
+			reason = "http:" + q
+		}
+		w.Header().Set("Content-Type", "application/json")
+		// Render errors past the first byte cannot be reported over HTTP.
+		_ = Capture(reason).WriteJSON(w)
+	})
+}
+
+func init() {
+	obs.RegisterDebugHandler("/debugz", debugzHandler())
+}

@@ -1,0 +1,195 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kbrepair/internal/obs"
+)
+
+func clearProviders(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() {
+		SetDigestProvider(nil)
+		SetJournalProvider(nil)
+	})
+}
+
+func TestCaptureSections(t *testing.T) {
+	resetGlobal(t)
+	clearProviders(t)
+	Enable(32)
+	Record(KindChaseRoundStart, 1, 10, 0, 0)
+	SetDigestProvider(func() any { return map[string]int{"facts": 42} })
+	SetJournalProvider(func() any { return map[string]string{"strategy": "random"} })
+
+	b := Capture("test-reason")
+	if b.SchemaVersion != BundleSchemaVersion {
+		t.Errorf("schema = %d, want %d", b.SchemaVersion, BundleSchemaVersion)
+	}
+	if b.Reason != "test-reason" {
+		t.Errorf("reason = %q", b.Reason)
+	}
+	// The capture itself appends a bundle_dump event after the round event.
+	if b.EventsRetained < 2 {
+		t.Fatalf("retained %d events, want >= 2", b.EventsRetained)
+	}
+	last := b.Events[len(b.Events)-1]
+	if !bytes.Contains(last, []byte("flight.bundle_dump")) {
+		t.Errorf("last event is not the bundle_dump marker: %s", last)
+	}
+	if !strings.Contains(b.Goroutines, "goroutine") {
+		t.Error("goroutine stacks missing")
+	}
+	if !bytes.Contains(b.KBDigest, []byte("42")) {
+		t.Errorf("digest section = %s", b.KBDigest)
+	}
+	if !bytes.Contains(b.Journal, []byte("random")) {
+		t.Errorf("journal section = %s", b.Journal)
+	}
+	if b.Env.GoVersion == "" || b.Env.PID == 0 {
+		t.Errorf("env stamp incomplete: %+v", b.Env)
+	}
+	for _, want := range []string{"events.jsonl", "metrics.json", "goroutines.txt", "manifest.json", "kb_digest.json", "journal.json"} {
+		found := false
+		for _, s := range b.Sections {
+			if s == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("manifest sections missing %s (have %v)", want, b.Sections)
+		}
+	}
+}
+
+func TestBundleDirRoundtrip(t *testing.T) {
+	resetGlobal(t)
+	clearProviders(t)
+	Enable(32)
+	Record(KindQuestion, 1, 3, 5, 120)
+	SetDigestProvider(func() any { return map[string]int{"facts": 7} })
+
+	dir := filepath.Join(t.TempDir(), "bundle")
+	b := Capture("roundtrip")
+	if err := b.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBundle(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Reason != "roundtrip" || got.SchemaVersion != BundleSchemaVersion {
+		t.Errorf("manifest did not roundtrip: %+v", got.Manifest)
+	}
+	if len(got.Events) != len(b.Events) {
+		t.Errorf("events: %d read, %d written", len(got.Events), len(b.Events))
+	}
+	if !bytes.Equal(bytes.TrimSpace(got.KBDigest), bytes.TrimSpace(b.KBDigest)) {
+		t.Errorf("digest did not roundtrip: %s vs %s", got.KBDigest, b.KBDigest)
+	}
+	if got.Goroutines != b.Goroutines {
+		t.Error("goroutines did not roundtrip")
+	}
+}
+
+func TestBundleJSONRoundtrip(t *testing.T) {
+	resetGlobal(t)
+	clearProviders(t)
+	Enable(32)
+	Record(KindAnswer, 2, 0, 1, 0)
+
+	path := filepath.Join(t.TempDir(), "debugz.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Capture("json-roundtrip")
+	if err := b.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, err := ReadBundle(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Reason != "json-roundtrip" || len(got.Events) != len(b.Events) {
+		t.Errorf("single-file bundle did not roundtrip: %+v", got.Manifest)
+	}
+}
+
+func TestReadBundleRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	manifest := `{"schema_version": 99, "reason": "future"}`
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte(manifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBundle(dir); err == nil || !strings.Contains(err.Error(), "schema version 99") {
+		t.Fatalf("wrong-schema bundle accepted: %v", err)
+	}
+}
+
+func TestDebugzEndpoint(t *testing.T) {
+	resetGlobal(t)
+	clearProviders(t)
+	Enable(32)
+	Record(KindSessionStart, 10, 2, 3, 0)
+
+	srv := httptest.NewServer(obs.DebugMux())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/debugz?reason=unit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var b Bundle
+	if err := json.NewDecoder(resp.Body).Decode(&b); err != nil {
+		t.Fatalf("debugz payload is not a bundle: %v", err)
+	}
+	if b.Reason != "http:unit" {
+		t.Errorf("reason = %q, want http:unit", b.Reason)
+	}
+	if b.SchemaVersion != BundleSchemaVersion || len(b.Events) == 0 {
+		t.Errorf("debugz bundle incomplete: schema=%d events=%d", b.SchemaVersion, len(b.Events))
+	}
+}
+
+func TestSetupDisablesRecorder(t *testing.T) {
+	resetGlobal(t)
+	finish := Setup("flighttest", Config{Events: -1})
+	if Active() {
+		t.Fatal("recorder active with Events < 0")
+	}
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetupExitBundle(t *testing.T) {
+	resetGlobal(t)
+	clearProviders(t)
+	dir := filepath.Join(t.TempDir(), "exit-bundle")
+	finish := Setup("flighttest", Config{BundleDir: dir, Events: 8})
+	if !Active() {
+		t.Fatal("recorder not enabled by Setup")
+	}
+	Record(KindQuestion, 1, 1, 1, 1)
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBundle(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Reason != "exit" || b.Cmd != "flighttest" {
+		t.Errorf("exit bundle manifest: reason=%q cmd=%q", b.Reason, b.Cmd)
+	}
+}

@@ -1,0 +1,317 @@
+package flight
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// resetGlobal detaches any process-wide recorder after a test so tests stay
+// independent.
+func resetGlobal(t *testing.T) {
+	t.Helper()
+	t.Cleanup(Disable)
+}
+
+func TestRecorderRingEviction(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 1; i <= 10; i++ {
+		r.record(KindChaseRoundStart, int64(i), 0, 0, 0, "")
+	}
+	if got := r.Total(); got != 10 {
+		t.Fatalf("Total() = %d, want 10", got)
+	}
+	events := r.Events()
+	if len(events) != 4 {
+		t.Fatalf("retained %d events, want 4", len(events))
+	}
+	for i, e := range events {
+		wantSeq := uint64(7 + i)
+		if e.Seq != wantSeq {
+			t.Errorf("event %d: seq = %d, want %d (oldest first)", i, e.Seq, wantSeq)
+		}
+		if e.N1 != int64(wantSeq) {
+			t.Errorf("event %d: N1 = %d, want %d", i, e.N1, wantSeq)
+		}
+	}
+	if events[0].TUS > events[3].TUS {
+		t.Errorf("timestamps not monotone: %d then %d", events[0].TUS, events[3].TUS)
+	}
+}
+
+func TestRecorderPartialRing(t *testing.T) {
+	r := NewRecorder(8)
+	r.record(KindQuestion, 1, 2, 3, 4, "")
+	r.record(KindAnswer, 5, 6, 1, 0, "v")
+	events := r.Events()
+	if len(events) != 2 {
+		t.Fatalf("retained %d events, want 2", len(events))
+	}
+	if events[0].Kind != KindQuestion || events[1].Kind != KindAnswer {
+		t.Fatalf("wrong kinds: %v, %v", events[0].Kind, events[1].Kind)
+	}
+}
+
+func TestEventJSONFieldNames(t *testing.T) {
+	e := Event{Seq: 3, TUS: 150, Kind: KindChaseRoundEnd, N1: 2, N2: 7, N3: 1, N4: 5}
+	var m map[string]any
+	if err := json.Unmarshal(e.JSON(), &m); err != nil {
+		t.Fatalf("event JSON invalid: %v\n%s", err, e.JSON())
+	}
+	want := map[string]float64{
+		"seq": 3, "t_us": 150, "round": 2, "derived": 7, "deferred": 1, "firings": 5,
+	}
+	for k, v := range want {
+		if got, ok := m[k].(float64); !ok || got != v {
+			t.Errorf("field %q = %v, want %v", k, m[k], v)
+		}
+	}
+	if m["kind"] != "chase.round_end" {
+		t.Errorf("kind = %v, want chase.round_end", m["kind"])
+	}
+}
+
+func TestEventJSONNote(t *testing.T) {
+	e := Event{Seq: 1, Kind: KindAnswer, N1: 4, N2: 0, N3: 1, Note: `pa"d`}
+	var m map[string]any
+	if err := json.Unmarshal(e.JSON(), &m); err != nil {
+		t.Fatalf("event JSON invalid: %v\n%s", err, e.JSON())
+	}
+	if m["value"] != `pa"d` {
+		t.Errorf("note field value = %v, want the quoted original", m["value"])
+	}
+	if _, present := m["n4"]; present {
+		t.Error("unused slot rendered")
+	}
+}
+
+func TestGlobalRecordDisabledAndEnabled(t *testing.T) {
+	resetGlobal(t)
+	Disable()
+	Record(KindQuestion, 1, 2, 3, 4) // must not panic with no recorder
+	if Active() {
+		t.Fatal("Active() true after Disable")
+	}
+	r := Enable(16)
+	Record(KindQuestion, 1, 2, 3, 4)
+	RecordNote(KindAnswer, 1, 0, 0, "x")
+	if got := r.Total(); got != 2 {
+		t.Fatalf("recorded %d events, want 2", got)
+	}
+	Disable()
+	Record(KindQuestion, 9, 9, 9, 9)
+	if got := r.Total(); got != 2 {
+		t.Fatalf("recorded after Disable: total = %d, want 2", got)
+	}
+}
+
+// TestRecordDisabledZeroAlloc pins the acceptance criterion directly: with
+// no recorder installed, the instrumentation call sites in the chase and
+// inquiry hot paths must not allocate.
+func TestRecordDisabledZeroAlloc(t *testing.T) {
+	resetGlobal(t)
+	Disable()
+	if n := testing.AllocsPerRun(1000, func() {
+		Record(KindChaseRoundStart, 1, 2, 3, 4)
+		RecordNote(KindAnomaly, 1, 2, 3, AnomalyNoProgress)
+	}); n != 0 {
+		t.Fatalf("disabled Record allocates %v allocs/op, want 0", n)
+	}
+}
+
+// TestRecordEnabledZeroAlloc: the enabled path is a stamped copy into a
+// pre-allocated slot — also allocation-free.
+func TestRecordEnabledZeroAlloc(t *testing.T) {
+	resetGlobal(t)
+	Enable(64)
+	if n := testing.AllocsPerRun(1000, func() {
+		Record(KindChaseRoundStart, 1, 2, 3, 4)
+	}); n != 0 {
+		t.Fatalf("enabled Record allocates %v allocs/op, want 0", n)
+	}
+}
+
+// BenchmarkFlightRecordDisabled is the benchmark-guarded form (same pattern
+// as obs.BenchmarkSamplerDisabled): run with -benchmem, expect 0 allocs/op.
+func BenchmarkFlightRecordDisabled(b *testing.B) {
+	Disable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Record(KindChaseRoundStart, int64(i), 2, 3, 4)
+	}
+}
+
+func BenchmarkFlightRecordEnabled(b *testing.B) {
+	Enable(DefaultCapacity)
+	defer Disable()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Record(KindChaseRoundStart, int64(i), 2, 3, 4)
+	}
+}
+
+// TestConcurrentRecordAndCapture hammers the ring from several writer
+// goroutines while concurrently capturing bundles — the signal-handler /
+// /debugz scenario. Run under -race this is the append-vs-dump race guard;
+// it also checks every captured event line is whole (valid JSON, known
+// kind).
+func TestConcurrentRecordAndCapture(t *testing.T) {
+	resetGlobal(t)
+	Enable(256)
+	const writers = 4
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(writers)
+	for g := 0; g < writers; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				Record(KindParDispatch, int64(g), int64(i), 0, 0)
+				RecordNote(KindAnomaly, int64(i), 0, 0, AnomalyLatencySpike)
+			}
+		}(g)
+	}
+	var captures int
+	var capWG sync.WaitGroup
+	capWG.Add(1)
+	go func() {
+		defer capWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			b := Capture("test")
+			captures++
+			for _, raw := range b.Events {
+				var m map[string]any
+				if err := json.Unmarshal(raw, &m); err != nil {
+					t.Errorf("captured event is torn: %v\n%s", err, raw)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	capWG.Wait()
+	if captures == 0 {
+		t.Fatal("capture goroutine never ran")
+	}
+	r := Current()
+	// Each Capture also records a KindBundleDump event.
+	want := uint64(writers*perWriter*2 + captures)
+	if got := r.Total(); got != want {
+		t.Fatalf("total events = %d, want %d", got, want)
+	}
+}
+
+func TestWatchdogNoProgress(t *testing.T) {
+	resetGlobal(t)
+	r := Enable(128)
+	SessionBegin()
+	ObserveQuestion(1, 10, time.Millisecond)
+	for i := 0; i < NoProgressK; i++ {
+		ObserveQuestion(1, 10, time.Millisecond) // never below the minimum
+	}
+	if !hasAnomaly(r, AnomalyNoProgress) {
+		t.Fatal("no-progress anomaly not recorded after a stall")
+	}
+
+	// A fresh session with strictly decreasing conflicts must stay clean.
+	// Fresh recorder too: the ring still holds the stall's anomaly.
+	r = Enable(128)
+	SessionBegin()
+	for i := 0; i < 3*NoProgressK; i++ {
+		ObserveQuestion(1, 100-i, time.Millisecond)
+	}
+	if hasAnomaly(r, AnomalyNoProgress) {
+		t.Fatal("no-progress anomaly on a strictly improving session")
+	}
+}
+
+func TestWatchdogNoProgressPhaseTransition(t *testing.T) {
+	resetGlobal(t)
+	r := Enable(128)
+	SessionBegin()
+	// Phase 1 drives the count to 1; phase 2 legitimately starts higher.
+	for i := 0; i < 4; i++ {
+		ObserveQuestion(1, 4-i, time.Millisecond)
+	}
+	for i := 0; i < NoProgressK-1; i++ {
+		ObserveQuestion(2, 20-i, time.Millisecond)
+	}
+	if hasAnomaly(r, AnomalyNoProgress) {
+		t.Fatal("phase transition misread as a stall")
+	}
+}
+
+func TestWatchdogLatencySpike(t *testing.T) {
+	resetGlobal(t)
+	r := Enable(128)
+	SessionBegin()
+	for i := 0; i < SpikeMinSamples; i++ {
+		ObserveQuestion(1, 100-i, 2*time.Millisecond)
+	}
+	if hasAnomaly(r, AnomalyLatencySpike) {
+		t.Fatal("spike anomaly on uniform delays")
+	}
+	// One pathological question: far beyond SpikeFactor × median and the
+	// floor.
+	ObserveQuestion(1, 50, 2*time.Second)
+	if !hasAnomaly(r, AnomalyLatencySpike) {
+		t.Fatal("latency spike not detected")
+	}
+}
+
+func TestWatchdogChaseOverrun(t *testing.T) {
+	resetGlobal(t)
+	r := Enable(128)
+	SessionBegin()
+	const maxRounds = 10
+	for round := 1; round <= 7; round++ {
+		ObserveChaseRound(round, maxRounds)
+	}
+	if hasAnomaly(r, AnomalyChaseOverrun) {
+		t.Fatal("overrun flagged below the budget fraction")
+	}
+	ObserveChaseRound(8, maxRounds) // 80% of 10
+	if !hasAnomaly(r, AnomalyChaseOverrun) {
+		t.Fatal("overrun not flagged at the budget fraction")
+	}
+	n := countAnomalies(r, AnomalyChaseOverrun)
+	ObserveChaseRound(9, maxRounds)
+	if countAnomalies(r, AnomalyChaseOverrun) != n {
+		t.Fatal("overrun flagged twice for one run")
+	}
+	// A new run (round counter restarts) re-arms the detector.
+	ObserveChaseRound(1, maxRounds)
+	ObserveChaseRound(9, maxRounds)
+	if countAnomalies(r, AnomalyChaseOverrun) != n+1 {
+		t.Fatal("overrun not re-armed for a new chase run")
+	}
+}
+
+func hasAnomaly(r *Recorder, name string) bool { return countAnomalies(r, name) > 0 }
+
+func countAnomalies(r *Recorder, name string) int {
+	n := 0
+	for _, e := range r.Events() {
+		if e.Kind == KindAnomaly && e.Note == name {
+			n++
+		}
+	}
+	return n
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindSessionStart; k < numKinds; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package flight
+
+// notifySignals is a no-op on platforms without SIGQUIT/SIGUSR1; the
+// /debugz endpoint and the at-exit dump still work.
+func notifySignals(dir string) {}

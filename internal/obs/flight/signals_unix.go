@@ -1,0 +1,57 @@
+//go:build unix
+
+package flight
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// signalOnce guards handler installation: Setup may run more than once in
+// tests, and stacking handler goroutines would dump the same bundle twice.
+var (
+	signalOnce sync.Once
+	signalDir  struct {
+		sync.Mutex
+		dir string
+	}
+)
+
+// notifySignals installs the post-mortem signal handler:
+//
+//   - SIGUSR1 dumps a debug bundle and the process continues — the "what is
+//     it doing right now" probe for a live session;
+//   - SIGQUIT dumps a bundle, prints all goroutine stacks to stderr (what
+//     the uncaught signal would have done) and exits with status 2, the
+//     same status the runtime uses.
+//
+// Repeated calls only update the target directory.
+func notifySignals(dir string) {
+	signalDir.Lock()
+	signalDir.dir = dir
+	signalDir.Unlock()
+	signalOnce.Do(func() {
+		ch := make(chan os.Signal, 2)
+		signal.Notify(ch, syscall.SIGQUIT, syscall.SIGUSR1)
+		go func() {
+			for sig := range ch {
+				signalDir.Lock()
+				target := signalDir.dir
+				signalDir.Unlock()
+				b := Capture("signal:" + sig.String())
+				if err := b.WriteDir(target); err != nil {
+					fmt.Fprintf(os.Stderr, "flight: %v bundle: %v\n", sig, err)
+				} else {
+					fmt.Fprintf(os.Stderr, "flight: wrote debug bundle to %s (%v)\n", target, sig)
+				}
+				if sig == syscall.SIGQUIT {
+					fmt.Fprint(os.Stderr, b.Goroutines)
+					os.Exit(2)
+				}
+			}
+		}()
+	})
+}

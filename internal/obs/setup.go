@@ -43,6 +43,43 @@ func AddFlags(fs *flag.FlagSet) *CLIConfig {
 	return c
 }
 
+// ValidateFlags checks flag values that parse fine but make no sense, after
+// fs has been parsed. It rejects an explicitly passed non-positive
+// -sample-interval (the zero default means "ticker off" internally, but a
+// user typing -sample-interval 0 almost certainly wanted sampling), and an
+// explicitly passed non-positive value for each flag named in positiveInts
+// (e.g. "workers", whose default 0 means GOMAXPROCS — valid as a default,
+// nonsense as input). Only flags the user actually set are checked, via
+// fs.Visit. Returns the first offending flag as an error; the CLIs print it
+// and exit 2, the flag package's own usage-error status.
+func ValidateFlags(fs *flag.FlagSet, positiveInts ...string) error {
+	positive := make(map[string]bool, len(positiveInts))
+	for _, name := range positiveInts {
+		positive[name] = true
+	}
+	var first error
+	fs.Visit(func(f *flag.Flag) {
+		if first != nil {
+			return
+		}
+		switch {
+		case f.Name == "sample-interval":
+			if g, ok := f.Value.(flag.Getter); ok {
+				if d, ok := g.Get().(time.Duration); ok && d <= 0 {
+					first = fmt.Errorf("-sample-interval must be positive, got %v", d)
+				}
+			}
+		case positive[f.Name]:
+			if g, ok := f.Value.(flag.Getter); ok {
+				if n, ok := g.Get().(int); ok && n <= 0 {
+					first = fmt.Errorf("-%s must be positive, got %d", f.Name, n)
+				}
+			}
+		}
+	})
+	return first
+}
+
 // Enabled reports whether any observability output was requested.
 func (c CLIConfig) Enabled() bool {
 	return c.MetricsPath != "" || c.TracePath != "" || c.PprofAddr != "" || c.TimeseriesPath != ""

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 
 	"kbrepair/internal/obs"
+	"kbrepair/internal/obs/flight"
 )
 
 // Pool instrumentation: tasks executed, the configured pool size, and the
@@ -104,6 +105,9 @@ func Do(n int, fn func(i int)) {
 		}
 		return
 	}
+	// Only true fan-outs are flight-recorded; inline runs would flood the
+	// ring with events that carry no scheduling information.
+	flight.Record(flight.KindParDispatch, int64(n), int64(w), 0, 0)
 	enq := obs.StartTimer()
 	var (
 		next     atomic.Int64

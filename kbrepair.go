@@ -310,6 +310,13 @@ func NewRecordingUser(u User, strategy string) *RecordingUser {
 	return inquiry.NewRecordingUser(u, strategy)
 }
 
+// NewRecordingSession wraps a user with a fresh journal carrying the
+// session header (strategy, seed, KB digest); replays of such journals
+// verify the KB before applying any fix.
+func NewRecordingSession(u User, strategy string, seed int64, kb *KB) *RecordingUser {
+	return inquiry.NewRecordingSession(u, strategy, seed, kb)
+}
+
 // NewReplayUser replays a recorded journal.
 func NewReplayUser(j *Journal) *ReplayUser { return inquiry.NewReplayUser(j) }
 

@@ -261,7 +261,7 @@ func TestFullPipeline(t *testing.T) {
 		t.Fatal("repair failed")
 	}
 	journalPath := filepath.Join(dir, "session.json")
-	if err := SaveJournal(rec.Journal, journalPath); err != nil {
+	if err := SaveJournal(rec.Journal(), journalPath); err != nil {
 		t.Fatal(err)
 	}
 
