@@ -5,7 +5,7 @@ GO ?= go
 BENCH_ARGS ?= -exp fig3 -scale 0.25 -reps 3 -seed 1
 BENCH_THRESHOLD ?= 1.25
 
-.PHONY: build test verify verify2 bench bench-check bench-check-report bench-go bench-workers bundle-smoke ci
+.PHONY: build test verify verify2 bench bench-check bench-check-report bench-go bench-smoke bench-workers bundle-smoke ci
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,12 @@ bench-check-report: BENCH.json
 bench-go:
 	$(GO) test -bench=. -benchmem ./...
 
+# bench-smoke compiles and runs each homo/flight benchmark exactly once —
+# a fast CI check that the benchmark suite (the allocation guards
+# included) still builds and executes, without timing anything.
+bench-smoke:
+	$(GO) test -bench 'Homo|Flight' -benchtime=1x ./internal/...
+
 # bench-workers runs the same workload at -workers 1 and -workers 4 and
 # compares the two reports: the parallel-speedup evidence for the README
 # table (regenerates results/bench_workers{1,4}.json). The -baseline leg
@@ -67,4 +73,4 @@ bundle-smoke:
 
 # ci is the whole gate in one target, mirroring .github/workflows/ci.yml
 # for environments without Actions.
-ci: verify verify2 bench-check-report bundle-smoke
+ci: verify verify2 bench-smoke bench-check-report bundle-smoke

@@ -310,7 +310,8 @@ func chaseLoop(base *store.Store, tgds []*logic.TGD, opts Options, abortPred str
 // because the store is mutated later, while firing.
 func collectTriggers(s *store.Store, rule *logic.TGD, all bool, deltaSet map[store.FactID]bool) []homo.Match {
 	var out []homo.Match
-	homo.ForEach(s, rule.Body, func(m homo.Match) bool {
+	plan := homo.CachedPlan(homo.CacheKey{Owner: rule, Tag: homo.TagBody}, rule.Body)
+	plan.ForEach(s, func(m homo.Match) bool {
 		if !all {
 			hit := false
 			for _, f := range m.Facts {
@@ -337,7 +338,7 @@ func collectTriggers(s *store.Store, rule *logic.TGD, all bool, deltaSet map[sto
 func fire(s *store.Store, rule *logic.TGD, m homo.Match, budget int) (bool, []store.FactID, error) {
 	mTriggers.Inc()
 	frontier := m.Subst.Restrict(rule.FrontierVars())
-	if homo.ExistsSeeded(s, rule.Head, frontier) {
+	if homo.CachedPlan(homo.CacheKey{Owner: rule, Tag: homo.TagHead}, rule.Head).ExistsSeeded(s, frontier) {
 		return false, nil, nil
 	}
 	if budget < len(rule.Head) {
@@ -372,7 +373,7 @@ func IsConsistentNaive(base *store.Store, tgds []*logic.TGD, cdds []*logic.CDD, 
 		return false, err
 	}
 	for _, c := range cdds {
-		if homo.Exists(res.Store, c.Body) {
+		if homo.CachedPlan(homo.CacheKey{Owner: c, Tag: homo.TagBody}, c.Body).Exists(res.Store) {
 			return false, nil
 		}
 	}
@@ -384,16 +385,30 @@ func IsConsistentNaive(base *store.Store, tgds []*logic.TGD, cdds []*logic.CDD, 
 // identifier.
 const BottomPred = "⊥"
 
+// bottomRules memoizes the ⊥-rule compiled from each CDD. Stable rule
+// pointers matter beyond saving the allocation: the homomorphism plan cache
+// is keyed by rule identity, and IsConsistentOpt runs once per Π-check —
+// fresh TGD pointers on every call would compile (and leak) a new plan per
+// consistency check instead of reusing one per CDD per session.
+var bottomRules sync.Map // *logic.CDD -> *logic.TGD
+
 // CompileBottom turns CDDs into TGDs with head ⊥() so that the chase itself
-// detects inconsistency (CheckConsistency-Opt, §5).
+// detects inconsistency (CheckConsistency-Opt, §5). The returned rules are
+// memoized per CDD: repeated calls yield pointer-identical TGDs.
 func CompileBottom(cdds []*logic.CDD) []*logic.TGD {
 	out := make([]*logic.TGD, len(cdds))
 	for i, c := range cdds {
-		out[i] = &logic.TGD{
+		if v, ok := bottomRules.Load(c); ok {
+			out[i] = v.(*logic.TGD)
+			continue
+		}
+		t := &logic.TGD{
 			Label: "⊥:" + c.Label,
 			Body:  append([]logic.Atom(nil), c.Body...),
 			Head:  []logic.Atom{logic.NewAtom(BottomPred)},
 		}
+		v, _ := bottomRules.LoadOrStore(c, t)
+		out[i] = v.(*logic.TGD)
 	}
 	return out
 }
@@ -453,7 +468,7 @@ func RelevantTGDs(tgds []*logic.TGD, cdds []*logic.CDD) []*logic.TGD {
 func IsConsistentOpt(base *store.Store, tgds []*logic.TGD, cdds []*logic.CDD, opts Options) (bool, error) {
 	// Fast path: a CDD already violated by the base facts needs no chase.
 	for _, c := range cdds {
-		if homo.Exists(base, c.Body) {
+		if homo.CachedPlan(homo.CacheKey{Owner: c, Tag: homo.TagBody}, c.Body).Exists(base) {
 			return false, nil
 		}
 	}

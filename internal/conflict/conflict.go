@@ -171,7 +171,8 @@ func AllNaive(base *store.Store, cdds []*logic.CDD) []*Conflict {
 func scanCDD(s *store.Store, cdd *logic.CDD, idx int, res *chase.Result) []*Conflict {
 	var out []*Conflict
 	seen := make(map[string]bool)
-	homo.ForEach(s, cdd.Body, func(m homo.Match) bool {
+	plan := homo.CachedPlan(homo.CacheKey{Owner: cdd, Tag: homo.TagBody}, cdd.Body)
+	plan.ForEach(s, func(m homo.Match) bool {
 		direct := true
 		baseFacts := m.Facts
 		if res != nil {

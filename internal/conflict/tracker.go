@@ -24,6 +24,10 @@ type Tracker struct {
 	// byPred maps a predicate name to the indexes of CDDs mentioning it in
 	// their body (the Σ_C^A of §5, at predicate granularity).
 	byPred map[string][]int
+	// pinPlans[ci][ai] is the compiled body-minus-atom-ai conjunction of
+	// CDD ci, precomputed so Update's hot path never touches the plan
+	// cache.
+	pinPlans [][]*homo.Plan
 }
 
 // NewTracker computes the initial naive conflicts of the store and prepares
@@ -38,6 +42,7 @@ func NewTracker(base *store.Store, cdds []*logic.CDD) *Tracker {
 		byFact:    make(map[store.FactID]map[string]bool),
 		byPred:    make(map[string][]int),
 	}
+	t.pinPlans = make([][]*homo.Plan, len(cdds))
 	for i, c := range cdds {
 		seen := make(map[string]bool)
 		for _, a := range c.Body {
@@ -45,6 +50,18 @@ func NewTracker(base *store.Store, cdds []*logic.CDD) *Tracker {
 				seen[a.Pred] = true
 				t.byPred[a.Pred] = append(t.byPred[a.Pred], i)
 			}
+		}
+		// Pinned plans are pure functions of (cdd, atom index), so they go
+		// through the process-wide cache and are shared across trackers.
+		t.pinPlans[i] = make([]*homo.Plan, len(c.Body))
+		for ai := range c.Body {
+			rest := make([]logic.Atom, 0, len(c.Body)-1)
+			for j, a := range c.Body {
+				if j != ai {
+					rest = append(rest, a)
+				}
+			}
+			t.pinPlans[i][ai] = homo.CachedPlan(homo.CacheKey{Owner: c, Tag: homo.TagPinned + ai}, rest)
 		}
 	}
 	for _, c := range AllNaive(base, cdds) {
@@ -93,7 +110,7 @@ type pinTask struct {
 	ci   int
 	ai   int
 	seed logic.Subst
-	rest []logic.Atom
+	plan *homo.Plan // compiled body-minus-pinned-atom conjunction
 }
 
 // Update re-synchronizes the conflict set after the fact with the given id
@@ -127,13 +144,7 @@ func (t *Tracker) Update(id store.FactID) {
 			if !ok {
 				continue
 			}
-			rest := make([]logic.Atom, 0, len(cdd.Body)-1)
-			for j, a := range cdd.Body {
-				if j != ai {
-					rest = append(rest, a)
-				}
-			}
-			tasks = append(tasks, pinTask{ci: ci, ai: ai, seed: seed, rest: rest})
+			tasks = append(tasks, pinTask{ci: ci, ai: ai, seed: seed, plan: t.pinPlans[ci][ai]})
 		}
 	}
 	perTask := par.Map(len(tasks), func(i int) []*Conflict {
@@ -155,7 +166,7 @@ func (t *Tracker) Update(id store.FactID) {
 func (t *Tracker) scanPinned(id store.FactID, atom logic.Atom, task pinTask) []*Conflict {
 	cdd := t.cdds[task.ci]
 	var out []*Conflict
-	homo.ForEachSeeded(t.base, task.rest, task.seed, func(m homo.Match) bool {
+	task.plan.ForEachSeeded(t.base, task.seed, func(m homo.Match) bool {
 		facts := make([]store.FactID, 0, len(cdd.Body))
 		ri := 0
 		for j := range cdd.Body {

@@ -92,7 +92,7 @@ func IsDegenerateCDD(c *logic.CDD) bool {
 			anon.MustAdd(logic.NewAtom(a.Pred, args...))
 		}
 	}
-	return homo.Exists(anon, c.Body)
+	return homo.CachedPlan(homo.CacheKey{Owner: c, Tag: homo.TagBody}, c.Body).Exists(anon)
 }
 
 // Clone returns a copy of the KB with an independent fact store. Rules are

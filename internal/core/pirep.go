@@ -7,6 +7,7 @@ import (
 	"kbrepair/internal/logic"
 	"kbrepair/internal/obs"
 	"kbrepair/internal/obs/flight"
+	"kbrepair/internal/par"
 	"kbrepair/internal/store"
 )
 
@@ -156,33 +157,86 @@ func (pc *PiChecker) CheckWithFix(pi Pi, f Fix) (bool, error) {
 
 // CheckBatch decides Π′-repairability for a batch of single-fix updates
 // sharing the same Π (the filtering loop of one SOUNDQUESTION call). The
-// fast path handles most fixes; the remaining full Algorithm 1 checks share
-// one nulled instance, mutating only the fix position between checks.
+// fast path handles most fixes sequentially; the remaining full Algorithm 1
+// checks are independent of each other and fan out across the worker pool
+// (one Π-nulled instance per chunk), with verdicts written by fix index so
+// the result — and therefore question order — is byte-identical at every
+// worker count.
 func (pc *PiChecker) CheckBatch(pi Pi, fixes []Fix) ([]bool, error) {
 	out := make([]bool, len(fixes))
-	var nulled *store.Store
-	var fastHits, fullChecks, accepted int64
+	var fastHits, accepted int64
+	var full []int
 	defer func() {
-		flight.Record(flight.KindPiBatch, fastHits, fullChecks, accepted, 0)
+		flight.Record(flight.KindPiBatch, fastHits, int64(len(full)), accepted, 0)
 	}()
 	for i, f := range fixes {
 		if pc.Optimized && pc.fastSafe(pi, f) {
 			pc.FastHits++
 			mPiFast.Inc()
 			fastHits++
-			accepted++
 			out[i] = true
 			continue
 		}
-		pc.FullChecks++
-		mPiFull.Inc()
-		fullChecks++
 		if f.Pos.Arg < 0 || !pc.kb.Facts.Valid(f.Pos.Fact) || f.Pos.Arg >= pc.kb.Facts.Arity(f.Pos.Fact) {
 			return nil, fmt.Errorf("pirep: position %s out of range", f.Pos)
 		}
-		if nulled == nil {
-			nulled = nulledCopy(pc.kb.Facts, pi)
+		full = append(full, i)
+	}
+	pc.FullChecks += len(full)
+	mPiFull.Add(int64(len(full)))
+	if err := pc.runFullChecks(pi, fixes, full, out); err != nil {
+		return nil, err
+	}
+	for _, ok := range out {
+		if ok {
+			accepted++
 		}
+	}
+	return out, nil
+}
+
+// runFullChecks runs the full Algorithm 1 checks of a batch (fix indices in
+// full). With one worker — or a single check — everything runs inline on
+// one shared nulled instance, the sequential baseline. Otherwise the
+// indices split into at most Workers() contiguous chunks, each chunk with
+// its own Π-nulled instance (checks only read pc.kb and mutate their own
+// copy, so they are independent). Verdicts land in out by fix index, never
+// by completion order.
+func (pc *PiChecker) runFullChecks(pi Pi, fixes []Fix, full []int, out []bool) error {
+	if len(full) == 0 {
+		return nil
+	}
+	w := par.Workers()
+	if w > len(full) {
+		w = len(full)
+	}
+	if w <= 1 {
+		return pc.checkChunk(pi, fixes, full, out)
+	}
+	chunks := make([][]int, 0, w)
+	for g := 0; g < w; g++ {
+		lo, hi := g*len(full)/w, (g+1)*len(full)/w
+		if lo < hi {
+			chunks = append(chunks, full[lo:hi])
+		}
+	}
+	errs := par.Map(len(chunks), func(g int) error {
+		return pc.checkChunk(pi, fixes, chunks[g], out)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkChunk runs Algorithm 1 for each fix index in idxs on one shared
+// Π-nulled instance, mutating only the fix position between checks.
+func (pc *PiChecker) checkChunk(pi Pi, fixes []Fix, idxs []int, out []bool) error {
+	nulled := nulledCopy(pc.kb.Facts, pi)
+	for _, i := range idxs {
+		f := fixes[i]
 		// Algorithm 1 on (apply(F,{f}), Π ∪ {f.Pos}) is exactly the nulled
 		// instance with the fix value at the fix position. (Π positions of
 		// the nulled store keep their values; f.Pos is outside Π in every
@@ -194,14 +248,11 @@ func (pc *PiChecker) CheckBatch(pi Pi, fixes []Fix) ([]bool, error) {
 		mPiCheckTime.Since(tm)
 		nulled.MustSetValue(f.Pos, prev)
 		if err != nil {
-			return nil, err
-		}
-		if ok {
-			accepted++
+			return err
 		}
 		out[i] = ok
 	}
-	return out, nil
+	return nil
 }
 
 // fastSafe reports whether the fix value is provably harmless (see

@@ -7,9 +7,20 @@
 // labeled nulls in B must match facts exactly. The search is a backtracking
 // join that at every step expands the not-yet-matched atom with the fewest
 // index candidates under the current partial substitution.
+//
+// Conjunctions are compiled once into Plans (see plan.go): variables become
+// dense integer slots bound through a flat array with an undo trail, and
+// per-atom candidate lists are cached across backtrack nodes, invalidated
+// only when one of the atom's slots changes. Rule-derived conjunctions
+// share compiled plans through CachedPlan, keyed by rule identity. The
+// package-level functions below compile on the fly and are kept as the
+// convenience API for ad-hoc bodies; both routes execute the same kernel
+// and enumerate matches in the same order as the original map-based engine.
 package homo
 
 import (
+	"encoding/binary"
+
 	"kbrepair/internal/logic"
 	"kbrepair/internal/obs"
 	"kbrepair/internal/store"
@@ -43,22 +54,12 @@ func (m Match) Clone() Match {
 // Exists reports whether at least one homomorphism from body to s exists
 // (boolean conjunctive query evaluation).
 func Exists(s *store.Store, body []logic.Atom) bool {
-	found := false
-	ForEach(s, body, func(Match) bool {
-		found = true
-		return false
-	})
-	return found
+	return Compile(body).Exists(s)
 }
 
 // ExistsSeeded reports whether a homomorphism extending seed exists.
 func ExistsSeeded(s *store.Store, body []logic.Atom, seed logic.Subst) bool {
-	found := false
-	ForEachSeeded(s, body, seed, func(Match) bool {
-		found = true
-		return false
-	})
-	return found
+	return Compile(body).ExistsSeeded(s, seed)
 }
 
 // FindFirst returns one homomorphism from body to s, if any.
@@ -96,171 +97,32 @@ func ForEach(s *store.Store, body []logic.Atom, fn func(Match) bool) {
 // ForEachSeeded is ForEach with an initial partial substitution: only
 // homomorphisms extending seed are enumerated. seed may be nil.
 func ForEachSeeded(s *store.Store, body []logic.Atom, seed logic.Subst, fn func(Match) bool) {
-	mSearches.Inc()
-	tm := obs.StartTimer()
-	if len(body) == 0 {
-		sub := seed
-		if sub == nil {
-			sub = logic.NewSubst()
-		}
-		fn(Match{Subst: sub, Facts: nil})
-		mTime.Since(tm)
-		return
-	}
-	st := &search{
-		store: s,
-		body:  body,
-		sub:   logic.NewSubst(),
-		facts: make([]store.FactID, len(body)),
-		done:  make([]bool, len(body)),
-		fn:    fn,
-	}
-	for v, t := range seed {
-		st.sub[v] = t
-	}
-	st.run(0)
-	mNodes.Add(st.nodes)
-	mProbes.Add(st.probes)
-	mTime.Since(tm)
+	Compile(body).ForEachSeeded(s, seed, fn)
 }
 
-type search struct {
-	store   *store.Store
-	body    []logic.Atom
-	sub     logic.Subst
-	facts   []store.FactID
-	done    []bool
-	fn      func(Match) bool
-	stopped bool
-	nodes   int64 // backtrack nodes visited (run invocations)
-	probes  int64 // store index consultations
-}
-
-// run matches the remaining len(body)-depth atoms; returns after exploring
-// the subtree (st.stopped set when fn asked to stop).
-func (st *search) run(depth int) {
-	if st.stopped {
-		return
-	}
-	st.nodes++
-	if depth == len(st.body) {
-		if !st.fn(Match{Subst: st.sub, Facts: st.facts}) {
-			st.stopped = true
-		}
-		return
-	}
-	idx, cands := st.pickAtom()
-	st.done[idx] = true
-	pattern := st.body[idx]
-	for _, fid := range cands {
-		fact := st.store.FactRef(fid)
-		bound, ok := st.bind(pattern, fact)
-		if ok {
-			st.facts[idx] = fid
-			st.run(depth + 1)
-		}
-		// Undo bindings introduced by this atom.
-		for _, v := range bound {
-			delete(st.sub, v)
-		}
-		if st.stopped {
-			break
-		}
-	}
-	st.done[idx] = false
-}
-
-// pickAtom selects the unmatched atom with the fewest candidate facts under
-// the current substitution and returns its index along with the candidates.
-func (st *search) pickAtom() (int, []store.FactID) {
-	bestIdx := -1
-	var bestCands []store.FactID
-	bestCount := int(^uint(0) >> 1)
-	for i, a := range st.body {
-		if st.done[i] {
-			continue
-		}
-		cands := st.candidates(a)
-		if len(cands) < bestCount {
-			bestIdx, bestCands, bestCount = i, cands, len(cands)
-			if bestCount == 0 {
-				break
-			}
-		}
-	}
-	return bestIdx, bestCands
-}
-
-// candidates returns the most selective index list for the pattern under the
-// current substitution. The returned slice belongs to the store's index and
-// must not be mutated.
-func (st *search) candidates(a logic.Atom) []store.FactID {
-	st.probes++
-	best := st.store.CandidatesByPred(a.Pred)
-	for i, t := range a.Args {
-		g := st.sub.Lookup(t)
-		if !g.IsGround() {
-			continue
-		}
-		st.probes++
-		c := st.store.Candidates(a.Pred, i, g)
-		if len(c) < len(best) {
-			best = c
-		}
-	}
-	return best
-}
-
-// bind attempts to extend the substitution so pattern maps onto fact. It
-// returns the variables newly bound (for undo) and whether it succeeded.
-// On failure the newly introduced bindings are already removed.
-func (st *search) bind(pattern, fact logic.Atom) ([]logic.Term, bool) {
-	if pattern.Pred != fact.Pred || len(pattern.Args) != len(fact.Args) {
-		return nil, false
-	}
-	var bound []logic.Term
-	for i, t := range pattern.Args {
-		ft := fact.Args[i]
-		if t.IsVar() {
-			if cur, ok := st.sub[t]; ok {
-				if cur != ft {
-					for _, v := range bound {
-						delete(st.sub, v)
-					}
-					return nil, false
-				}
-				continue
-			}
-			st.sub[t] = ft
-			bound = append(bound, t)
-			continue
-		}
-		if t != ft {
-			for _, v := range bound {
-				delete(st.sub, v)
-			}
-			return nil, false
-		}
-	}
-	return bound, true
-}
-
-// Answers evaluates a conjunctive query with distinguished variables answJ
+// Answers evaluates a conjunctive query with distinguished variables answVars
 // over s and returns the distinct answer tuples, in enumeration order. This
 // is the paper's Q(F, ΣT) restricted to a plain store; query answering under
 // TGDs composes this with the chase (see internal/chase.Answers).
 func Answers(s *store.Store, body []logic.Atom, answVars []logic.Term) [][]logic.Term {
 	var out [][]logic.Term
 	seen := make(map[string]bool)
+	// Dedup keys are built into one reused buffer with a self-delimiting
+	// encoding (kind byte + uvarint length + name bytes per term), so a
+	// tuple's key is unambiguous regardless of the bytes inside names and
+	// key construction is O(tuple size) with no per-term allocations.
+	var key []byte
 	ForEach(s, body, func(m Match) bool {
 		tuple := make([]logic.Term, len(answVars))
-		key := ""
+		key = key[:0]
 		for i, v := range answVars {
 			tuple[i] = m.Subst.Lookup(v)
-			key += string(rune('0'+tuple[i].Kind)) + tuple[i].Name + "\x00"
+			key = append(key, byte(tuple[i].Kind))
+			key = binary.AppendUvarint(key, uint64(len(tuple[i].Name)))
+			key = append(key, tuple[i].Name...)
 		}
-		if !seen[key] {
-			seen[key] = true
+		if !seen[string(key)] {
+			seen[string(key)] = true
 			out = append(out, tuple)
 		}
 		return true

@@ -1,0 +1,429 @@
+package homo
+
+import (
+	"sync"
+
+	"kbrepair/internal/logic"
+	"kbrepair/internal/obs"
+	"kbrepair/internal/obs/flight"
+	"kbrepair/internal/store"
+)
+
+// Plan-compiler instrumentation: how many conjunctions were compiled and how
+// often a compiled plan was served from the rule-keyed cache. A healthy
+// session compiles each rule body once and then hits the cache for the
+// remaining thousands of searches.
+var (
+	mPlanCompiles = obs.NewCounter("homo.plan_compiles")
+	mPlanHits     = obs.NewCounter("homo.plan_cache_hits")
+)
+
+// planArg is one argument position of a compiled atom: either a ground term
+// that candidate facts must match exactly, or a variable slot into the
+// executor's flat binding array.
+type planArg struct {
+	slot int        // variable slot; -1 for a ground term
+	term logic.Term // the ground term when slot < 0
+}
+
+// planAtom is one body atom with its variables interned to integer slots.
+type planAtom struct {
+	pred  string
+	arity int
+	args  []planArg
+	slots []int // distinct slots occurring in this atom
+}
+
+// Plan is a conjunction compiled for repeated execution: variables interned
+// to dense integer slots, ground positions precomputed, and a per-slot
+// reverse index (slotAtoms) that tells the executor which atoms' candidate
+// sets are invalidated when a slot binds or unbinds. A Plan is immutable
+// after Compile and safe for concurrent use; per-search mutable state lives
+// in pooled exec instances.
+type Plan struct {
+	atoms     []planAtom
+	vars      []logic.Term // slot -> variable term
+	slotOf    map[logic.Term]int
+	slotAtoms [][]int // slot -> indices of atoms mentioning it
+	pool      sync.Pool
+}
+
+// Compile builds an execution plan for body. The compiled plan preserves the
+// legacy engine's semantics exactly — same adaptive least-candidates atom
+// ordering, same index-probe selection order, same enumeration order — it
+// only avoids redundant per-node work.
+func Compile(body []logic.Atom) *Plan {
+	mPlanCompiles.Inc()
+	p := &Plan{
+		atoms:  make([]planAtom, len(body)),
+		slotOf: make(map[logic.Term]int),
+	}
+	for i, a := range body {
+		pa := planAtom{pred: a.Pred, arity: len(a.Args), args: make([]planArg, len(a.Args))}
+		for j, t := range a.Args {
+			if !t.IsVar() {
+				pa.args[j] = planArg{slot: -1, term: t}
+				continue
+			}
+			s, ok := p.slotOf[t]
+			if !ok {
+				s = len(p.vars)
+				p.slotOf[t] = s
+				p.vars = append(p.vars, t)
+				p.slotAtoms = append(p.slotAtoms, nil)
+			}
+			pa.args[j] = planArg{slot: s}
+			if n := len(pa.slots); n == 0 || !containsInt(pa.slots, s) {
+				pa.slots = append(pa.slots, s)
+				p.slotAtoms[s] = append(p.slotAtoms[s], i)
+			}
+		}
+		p.atoms[i] = pa
+	}
+	p.pool.New = func() any { return newExec(p) }
+	return p
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Cache tags distinguish the conjunctions compiled from one rule. Pinned
+// plans (the conflict tracker's body-minus-one-atom tasks) use TagPinned+i
+// for pinned atom index i.
+const (
+	TagBody   = 0
+	TagHead   = 1
+	TagPinned = 2
+)
+
+// CacheKey identifies a compiled conjunction in the process-wide plan cache.
+// Owner must be a stable comparable identity for the conjunction — in
+// practice the *logic.TGD or *logic.CDD pointer, which is shared across KB
+// clones and lives for the session.
+type CacheKey struct {
+	Owner any
+	Tag   int
+}
+
+var planCache sync.Map // CacheKey -> *Plan
+
+// CachedPlan returns the compiled plan for key, compiling body on first use.
+// The cache is keyed by rule identity, not body contents: callers must pass
+// the same body for the same key every time (rules are immutable, so this
+// holds for all rule-derived conjunctions).
+func CachedPlan(key CacheKey, body []logic.Atom) *Plan {
+	if v, ok := planCache.Load(key); ok {
+		mPlanHits.Inc()
+		return v.(*Plan)
+	}
+	p := Compile(body)
+	if v, loaded := planCache.LoadOrStore(key, p); loaded {
+		mPlanHits.Inc()
+		return v.(*Plan)
+	}
+	return p
+}
+
+// exec is the per-search mutable state of a plan: a flat binding array
+// indexed by slot, an undo trail, and a per-atom candidate-list cache with
+// dirty flags. Instances are pooled per plan so a cached-plan search
+// allocates nothing.
+type exec struct {
+	p  *Plan
+	s  *store.Store
+	fn func(Match) bool
+
+	bind  []logic.Term // slot -> bound term
+	set   []bool       // slot -> bound?
+	trail []int        // bound slots in binding order; undo = truncate
+
+	done  []bool
+	facts []store.FactID
+
+	// Candidate cache: cands[i] is valid while fresh[i] holds. A slot
+	// binding or unbinding clears fresh for every atom mentioning the slot
+	// (Plan.slotAtoms), so each index is probed once per binding change
+	// rather than once per backtrack node.
+	cands [][]store.FactID
+	fresh []bool
+
+	// scratch is the Subst materialized for fn at each match; like the
+	// legacy engine's live map it is only valid during the callback.
+	scratch logic.Subst
+	// Seed bindings for variables that have no slot (not mentioned in the
+	// body, e.g. head variables in tracker seeds); appended at match time.
+	extraV []logic.Term
+	extraT []logic.Term
+
+	stopped bool
+	matched bool
+	nodes   int64
+	probes  int64
+	matches int64
+}
+
+func newExec(p *Plan) *exec {
+	n := len(p.atoms)
+	return &exec{
+		p:       p,
+		bind:    make([]logic.Term, len(p.vars)),
+		set:     make([]bool, len(p.vars)),
+		trail:   make([]int, 0, len(p.vars)),
+		done:    make([]bool, n),
+		facts:   make([]store.FactID, n),
+		cands:   make([][]store.FactID, n),
+		fresh:   make([]bool, n),
+		scratch: logic.NewSubst(),
+	}
+}
+
+func (e *exec) reset(s *store.Store, seed logic.Subst, fn func(Match) bool) {
+	e.s, e.fn = s, fn
+	for i := range e.set {
+		e.set[i] = false
+	}
+	for i := range e.done {
+		e.done[i] = false
+		e.fresh[i] = false
+	}
+	e.trail = e.trail[:0]
+	e.extraV = e.extraV[:0]
+	e.extraT = e.extraT[:0]
+	e.stopped, e.matched = false, false
+	e.nodes, e.probes, e.matches = 0, 0, 0
+	for v, t := range seed {
+		if sl, ok := e.p.slotOf[v]; ok {
+			e.bind[sl] = t
+			e.set[sl] = true
+		} else {
+			e.extraV = append(e.extraV, v)
+			e.extraT = append(e.extraT, t)
+		}
+	}
+}
+
+// release drops references into the store so pooled executors do not pin
+// candidate index slices (or the store itself) between searches.
+func (e *exec) release() {
+	e.s, e.fn = nil, nil
+	for i := range e.cands {
+		e.cands[i] = nil
+	}
+}
+
+// run matches the remaining len(atoms)-depth atoms — the same search tree,
+// node for node, as the legacy engine's search.run.
+func (e *exec) run(depth int) {
+	if e.stopped {
+		return
+	}
+	e.nodes++
+	if depth == len(e.p.atoms) {
+		e.matches++
+		if e.fn == nil { // exists-only mode
+			e.matched = true
+			e.stopped = true
+			return
+		}
+		if !e.fn(Match{Subst: e.materialize(), Facts: e.facts}) {
+			e.stopped = true
+		}
+		return
+	}
+	idx, cands := e.pickAtom()
+	e.done[idx] = true
+	for _, fid := range cands {
+		fact := e.s.FactRef(fid)
+		mark := len(e.trail)
+		if e.matchAtom(idx, fact) {
+			e.facts[idx] = fid
+			e.run(depth + 1)
+		}
+		e.undo(mark)
+		if e.stopped {
+			break
+		}
+	}
+	e.done[idx] = false
+}
+
+// pickAtom selects the unmatched atom with the fewest candidates under the
+// current bindings — identical selection (including tie-breaking by body
+// order and the zero-candidate early break) to the legacy engine, but
+// candidate lists are served from the per-atom cache when still fresh.
+func (e *exec) pickAtom() (int, []store.FactID) {
+	bestIdx := -1
+	var bestCands []store.FactID
+	bestCount := int(^uint(0) >> 1)
+	for i := range e.p.atoms {
+		if e.done[i] {
+			continue
+		}
+		c := e.candidates(i)
+		if len(c) < bestCount {
+			bestIdx, bestCands, bestCount = i, c, len(c)
+			if bestCount == 0 {
+				break
+			}
+		}
+	}
+	return bestIdx, bestCands
+}
+
+// candidates returns the most selective index list for atom i, recomputing
+// only when a slot of the atom changed since the last probe. The probe
+// selection order (predicate index first, then argument positions left to
+// right, strictly smaller wins) matches the legacy engine exactly — the
+// chosen list's identity, not just its length, determines enumeration order.
+func (e *exec) candidates(i int) []store.FactID {
+	if e.fresh[i] {
+		return e.cands[i]
+	}
+	a := &e.p.atoms[i]
+	e.probes++
+	best := e.s.CandidatesByPred(a.pred)
+	for j := range a.args {
+		pa := a.args[j]
+		var g logic.Term
+		if pa.slot < 0 {
+			g = pa.term
+		} else if e.set[pa.slot] {
+			g = e.bind[pa.slot]
+		} else {
+			continue
+		}
+		if !g.IsGround() {
+			continue
+		}
+		e.probes++
+		c := e.s.Candidates(a.pred, j, g)
+		if len(c) < len(best) {
+			best = c
+		}
+	}
+	e.cands[i] = best
+	e.fresh[i] = true
+	return best
+}
+
+// matchAtom extends the bindings so atom i maps onto fact, pushing newly
+// bound slots onto the trail. On failure, partially pushed bindings are left
+// on the trail for the caller's undo — run always undoes to its mark.
+func (e *exec) matchAtom(i int, fact logic.Atom) bool {
+	a := &e.p.atoms[i]
+	if a.pred != fact.Pred || a.arity != len(fact.Args) {
+		return false
+	}
+	for j, pa := range a.args {
+		ft := fact.Args[j]
+		if pa.slot < 0 {
+			if pa.term != ft {
+				return false
+			}
+			continue
+		}
+		if e.set[pa.slot] {
+			if e.bind[pa.slot] != ft {
+				return false
+			}
+			continue
+		}
+		e.bind[pa.slot] = ft
+		e.set[pa.slot] = true
+		e.trail = append(e.trail, pa.slot)
+		for _, ai := range e.p.slotAtoms[pa.slot] {
+			e.fresh[ai] = false
+		}
+	}
+	return true
+}
+
+// undo unbinds every slot past mark and invalidates the affected atoms'
+// candidate caches.
+func (e *exec) undo(mark int) {
+	for k := len(e.trail) - 1; k >= mark; k-- {
+		sl := e.trail[k]
+		e.set[sl] = false
+		for _, ai := range e.p.slotAtoms[sl] {
+			e.fresh[ai] = false
+		}
+	}
+	e.trail = e.trail[:mark]
+}
+
+// materialize refills the scratch Subst from the binding array plus any
+// non-body seed bindings. At a full match every plan slot is bound.
+func (e *exec) materialize() logic.Subst {
+	m := e.scratch
+	clear(m)
+	for i, v := range e.p.vars {
+		if e.set[i] {
+			m[v] = e.bind[i]
+		}
+	}
+	for i, v := range e.extraV {
+		m[v] = e.extraT[i]
+	}
+	return m
+}
+
+// ForEach enumerates homomorphisms from the plan's conjunction to s. The
+// Match passed to fn is only valid during the call; clone it to retain it.
+// Returning false from fn stops the enumeration.
+func (p *Plan) ForEach(s *store.Store, fn func(Match) bool) {
+	p.ForEachSeeded(s, nil, fn)
+}
+
+// ForEachSeeded is ForEach with an initial partial substitution; only
+// homomorphisms extending seed are enumerated. seed may be nil.
+func (p *Plan) ForEachSeeded(s *store.Store, seed logic.Subst, fn func(Match) bool) {
+	p.search(s, seed, fn)
+}
+
+// Exists reports whether at least one homomorphism exists (boolean
+// conjunctive query evaluation). No Subst is materialized.
+func (p *Plan) Exists(s *store.Store) bool {
+	return p.search(s, nil, nil)
+}
+
+// ExistsSeeded reports whether a homomorphism extending seed exists.
+func (p *Plan) ExistsSeeded(s *store.Store, seed logic.Subst) bool {
+	return p.search(s, seed, nil)
+}
+
+// search runs one execution of the plan; fn == nil means exists-only mode
+// (stop at the first match, no Subst materialization). Returns whether a
+// match was found.
+func (p *Plan) search(s *store.Store, seed logic.Subst, fn func(Match) bool) bool {
+	mSearches.Inc()
+	tm := obs.StartTimer()
+	if len(p.atoms) == 0 {
+		if fn != nil {
+			sub := seed
+			if sub == nil {
+				sub = logic.NewSubst()
+			}
+			fn(Match{Subst: sub, Facts: nil})
+		}
+		flight.Record(flight.KindHomoSearch, 0, 0, 0, 1)
+		mTime.Since(tm)
+		return true
+	}
+	e := p.pool.Get().(*exec)
+	e.reset(s, seed, fn)
+	e.run(0)
+	matched := e.matched || e.matches > 0
+	mNodes.Add(e.nodes)
+	mProbes.Add(e.probes)
+	flight.Record(flight.KindHomoSearch, int64(len(p.atoms)), e.nodes, e.probes, e.matches)
+	mTime.Since(tm)
+	e.release()
+	p.pool.Put(e)
+	return matched
+}

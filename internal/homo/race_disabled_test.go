@@ -1,0 +1,5 @@
+//go:build !race
+
+package homo
+
+const raceEnabled = false

@@ -16,16 +16,20 @@ import (
 // everything the user saw and did plus the final store — the byte-level
 // identity the parallel execution layer must preserve.
 func repairTranscript(t *testing.T, workers int) string {
-	t.Helper()
-	par.SetWorkers(workers)
-	g, err := synth.Generate(synth.Params{
+	return repairTranscriptOpts(t, workers, synth.Params{
 		Seed:               9,
 		NumFacts:           120,
 		InconsistencyRatio: 0.25,
 		NumCDDs:            8,
 		NumTGDs:            4,
 		JoinVarRatio:       0.3,
-	})
+	}, Options{})
+}
+
+func repairTranscriptOpts(t *testing.T, workers int, params synth.Params, opts Options) string {
+	t.Helper()
+	par.SetWorkers(workers)
+	g, err := synth.Generate(params)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +44,7 @@ func repairTranscript(t *testing.T, workers int) string {
 		}
 		return f, err
 	})
-	e := New(kb, OptiMCD{}, user, 17, Options{})
+	e := New(kb, OptiMCD{}, user, 17, opts)
 	res, err := e.Run()
 	if err != nil {
 		t.Fatal(err)
@@ -86,6 +90,34 @@ func TestRepairDeterministicAcrossWorkers(t *testing.T) {
 			}
 			t.Fatalf("workers=%d transcript diverges from workers=1 at byte %d:\n--- workers=1\n…%s…\n--- workers=%d\n…%s…",
 				w, i, clip(seq), w, clip(got))
+		}
+	}
+}
+
+// TestPiFilterDeterministicAcrossWorkers pins the parallel Π-repairability
+// filtering path: with the Π-RepOpt fast path disabled, every candidate fix
+// of every question goes through a full Algorithm 1 check, which CheckBatch
+// fans out across the worker pool. The transcript — question contents and
+// order included — must be byte-identical at every worker count.
+func TestPiFilterDeterministicAcrossWorkers(t *testing.T) {
+	t.Cleanup(func() { par.SetWorkers(0) })
+	params := synth.Params{
+		Seed:               11,
+		NumFacts:           60,
+		InconsistencyRatio: 0.25,
+		NumCDDs:            6,
+		NumTGDs:            2,
+		JoinVarRatio:       0.3,
+	}
+	opts := Options{DisablePiRepOpt: true}
+	seq := repairTranscriptOpts(t, 1, params, opts)
+	if !strings.Contains(seq, "round 0:") {
+		t.Fatal("workload asked no questions; test would be vacuous")
+	}
+	for _, w := range []int{2, 8} {
+		if got := repairTranscriptOpts(t, w, params, opts); got != seq {
+			t.Fatalf("workers=%d full-Π-check transcript diverges from workers=1 (len %d vs %d)",
+				w, len(got), len(seq))
 		}
 	}
 }

@@ -72,6 +72,9 @@ const (
 	// KindBundleDump marks a debug-bundle capture; Note is the reason, so a
 	// later bundle shows earlier dumps in its own timeline.
 	KindBundleDump
+	// KindHomoSearch summarizes one homomorphism search: body atoms,
+	// backtrack nodes visited, store index probes, matches enumerated.
+	KindHomoSearch
 
 	numKinds
 )
@@ -96,6 +99,7 @@ var kindSpecs = [numKinds]kindSpec{
 	KindParDispatch:     {"par.dispatch", [4]string{"tasks", "workers", "", ""}, ""},
 	KindAnomaly:         {"anomaly", [4]string{"value", "threshold", "", ""}, "anomaly"},
 	KindBundleDump:      {"flight.bundle_dump", [4]string{"", "", "", ""}, "reason"},
+	KindHomoSearch:      {"homo.search", [4]string{"body", "nodes", "probes", "matches"}, ""},
 }
 
 // String returns the dotted event name of the kind.

@@ -179,12 +179,9 @@ func TestConcurrentRecordAndCapture(t *testing.T) {
 	capWG.Add(1)
 	go func() {
 		defer capWG.Done()
+		// Capture before checking stop so at least one capture happens even
+		// when a single-CPU scheduler runs the writers to completion first.
 		for {
-			select {
-			case <-stop:
-				return
-			default:
-			}
 			b := Capture("test")
 			captures++
 			for _, raw := range b.Events {
@@ -193,6 +190,11 @@ func TestConcurrentRecordAndCapture(t *testing.T) {
 					t.Errorf("captured event is torn: %v\n%s", err, raw)
 					return
 				}
+			}
+			select {
+			case <-stop:
+				return
+			default:
 			}
 		}
 	}()
