@@ -10,8 +10,13 @@ BENCH_THRESHOLD ?= 1.25
 build:
 	$(GO) build ./...
 
+# Failing test binaries leave post-mortem debug bundles here (one directory
+# per test binary, via flight.DumpOnTestFailure); CI uploads the tree.
+TEST_BUNDLE_DIR ?= test-failure-bundles
+
 test:
-	$(GO) test ./...
+	rm -rf $(TEST_BUNDLE_DIR)
+	KBREPAIR_TEST_BUNDLE=$(abspath $(TEST_BUNDLE_DIR)) $(GO) test ./...
 
 # Tier-1 verify: the gate every change must pass.
 verify: build test
@@ -31,7 +36,9 @@ BENCH.json:
 	$(MAKE) bench
 
 # bench-check re-runs the same workload and fails (non-zero exit) if any
-# latency metric's mean regressed beyond BENCH_THRESHOLD x the baseline.
+# latency metric's mean — or any rule body's total backtrack-node count
+# (the paper's tree-size cost model, from the report's profile section) —
+# regressed beyond BENCH_THRESHOLD x the baseline.
 bench-check: BENCH.json
 	$(GO) run ./cmd/kbbench $(BENCH_ARGS) -json BENCH_new.json -baseline BENCH.json -threshold $(BENCH_THRESHOLD)
 
@@ -45,11 +52,11 @@ bench-check-report: BENCH.json
 bench-go:
 	$(GO) test -bench=. -benchmem ./...
 
-# bench-smoke compiles and runs each homo/flight benchmark exactly once —
-# a fast CI check that the benchmark suite (the allocation guards
+# bench-smoke compiles and runs each homo/flight/attr benchmark exactly
+# once — a fast CI check that the benchmark suite (the allocation guards
 # included) still builds and executes, without timing anything.
 bench-smoke:
-	$(GO) test -bench 'Homo|Flight' -benchtime=1x ./internal/...
+	$(GO) test -bench 'Homo|Flight|Attr' -benchtime=1x ./internal/...
 
 # bench-workers runs the same workload at -workers 1 and -workers 4 and
 # compares the two reports: the parallel-speedup evidence for the README

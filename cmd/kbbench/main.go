@@ -23,6 +23,7 @@ import (
 	"kbrepair/internal/durum"
 	"kbrepair/internal/exp"
 	"kbrepair/internal/obs"
+	"kbrepair/internal/obs/attr"
 	"kbrepair/internal/obs/flight"
 	"kbrepair/internal/par"
 )
@@ -59,6 +60,9 @@ func main() {
 		// The report's latency summaries need the opt-in timers on.
 		obs.SetEnabled(true)
 	}
+	// The report's profile section and the observability outputs both want
+	// per-rule attribution; plain table runs skip its memory cost.
+	attr.SetEnabled(benching || obsCfg.Enabled())
 
 	out := bufio.NewWriter(os.Stdout)
 	runErr := run(out, *which, *scale, *reps, *seed)
@@ -67,7 +71,9 @@ func main() {
 	}
 	if runErr == nil && benching {
 		label := fmt.Sprintf("exp=%s scale=%g reps=%d seed=%d workers=%d", *which, *scale, *reps, *seed, par.Workers())
-		rep := exp.NewBenchReport(label, obs.Default().Snapshot())
+		snap := obs.Default().Snapshot()
+		rep := exp.NewBenchReport(label, snap)
+		rep.Profile = exp.BuildProfile(attr.Capture(), snap)
 		runErr = benchBaseline(out, rep, *benchJSON, *baseline, *threshold, *regressOK)
 	}
 	if err := out.Flush(); err != nil && runErr == nil {

@@ -21,6 +21,7 @@ import (
 	"kbrepair/internal/core"
 	"kbrepair/internal/exp"
 	"kbrepair/internal/obs"
+	"kbrepair/internal/obs/attr"
 	"kbrepair/internal/obs/flight"
 	"kbrepair/internal/par"
 )
@@ -51,8 +52,9 @@ func main() {
 		os.Exit(1)
 	}
 	finish := flight.Setup("kbcheck", *flightCfg)
+	attr.SetEnabled(obsCfg.Enabled())
 	out := bufio.NewWriter(os.Stdout)
-	runErr := run(out, *kbPath, *listConflicts, *explain)
+	runErr := run(out, *kbPath, *listConflicts, *explain, *flightCfg)
 	if err := out.Flush(); err != nil && runErr == nil {
 		runErr = fmt.Errorf("writing output: %w", err)
 	}
@@ -68,13 +70,14 @@ func main() {
 	}
 }
 
-func run(w io.Writer, kbPath string, listConflicts, explain bool) error {
+func run(w io.Writer, kbPath string, listConflicts, explain bool, fcfg flight.Config) error {
 	kb, err := kbrepair.LoadKB(kbPath)
 	if err != nil {
 		return err
 	}
 	digest := core.DigestKB(kb)
 	flight.SetDigestProvider(func() any { return digest })
+	fcfg.Autosize(kb.Facts.Len())
 	fmt.Fprintf(w, "%s: %d facts, %d TGDs, %d CDDs\n", kbPath, kb.Facts.Len(), len(kb.TGDs), len(kb.CDDs))
 	fmt.Fprintf(w, "TGDs weakly acyclic: %v\n", kbrepair.IsWeaklyAcyclic(kb.TGDs))
 	compatible, err := kb.RulesCompatible()

@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"kbrepair/internal/obs/flight"
 )
 
 func writeKB(t *testing.T, content string) string {
@@ -24,7 +26,7 @@ prescribed(Aspirin, John).
 hasAllergy(John, Aspirin).
 [cdd] prescribed(X, Y), hasAllergy(Y, X) -> !.
 `)
-	if err := run(io.Discard, path, true, true); err != nil {
+	if err := run(io.Discard, path, true, true, flight.Config{}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -34,7 +36,7 @@ func TestRunConsistentKB(t *testing.T) {
 prescribed(Aspirin, John).
 [cdd] prescribed(X, Y), hasAllergy(Y, X) -> !.
 `)
-	if err := run(io.Discard, path, false, false); err != nil {
+	if err := run(io.Discard, path, false, false, flight.Config{}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -46,20 +48,20 @@ r(a).
 [tgd] p(X) -> q(X).
 [cdd] q(X), r(X) -> !.
 `)
-	if err := run(io.Discard, path, true, true); err != nil {
+	if err := run(io.Discard, path, true, true, flight.Config{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMissingFile(t *testing.T) {
-	if err := run(io.Discard, filepath.Join(t.TempDir(), "nope.kb"), false, false); err == nil {
+	if err := run(io.Discard, filepath.Join(t.TempDir(), "nope.kb"), false, false, flight.Config{}); err == nil {
 		t.Error("missing file accepted")
 	}
 }
 
 func TestRunBadSyntax(t *testing.T) {
 	path := writeKB(t, "p(a")
-	if err := run(io.Discard, path, false, false); err == nil {
+	if err := run(io.Discard, path, false, false, flight.Config{}); err == nil {
 		t.Error("bad syntax accepted")
 	}
 }
@@ -77,7 +79,7 @@ hasAllergy(John, Aspirin).
 [cdd] prescribed(X, Y), hasAllergy(Y, X) -> !.
 `)
 	out := bufio.NewWriterSize(failWriter{}, 16)
-	if err := run(out, path, true, false); err != nil {
+	if err := run(out, path, true, false, flight.Config{}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if err := out.Flush(); err == nil {

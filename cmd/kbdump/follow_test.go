@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"kbrepair/internal/obs"
+	"kbrepair/internal/obs/attr"
+	"kbrepair/internal/obs/flight"
+)
+
+func TestNormalizeDebugURL(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"localhost:6060", "http://localhost:6060/debugz"},
+		{"http://localhost:6060", "http://localhost:6060/debugz"},
+		{"http://localhost:6060/", "http://localhost:6060/debugz"},
+		{"http://localhost:6060/debugz", "http://localhost:6060/debugz"},
+		{"http://localhost:6060/metrics", "http://localhost:6060/debugz"},
+	}
+	for _, tc := range cases {
+		if got := normalizeDebugURL(tc.in); got != tc.want {
+			t.Errorf("normalizeDebugURL(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestRunFollow polls a live debug mux twice: events recorded before the
+// first poll print once, events recorded between polls print on the second,
+// and anomalies carry the '!' marker.
+func TestRunFollow(t *testing.T) {
+	t.Cleanup(flight.Disable)
+	flight.Enable(64)
+	flight.Record(flight.KindChaseRoundStart, 1, 10, 0, 0)
+	flight.RecordNote(flight.KindAnomaly, 42, 10, 0, "test_anomaly")
+
+	srv := httptest.NewServer(obs.DebugMux())
+	defer srv.Close()
+
+	// Record one more event after the first poll completes; a second poll
+	// must pick up exactly the new event. The race is benign: the recorder
+	// is appended to between polls, just as in a live process.
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		flight.Record(flight.KindChaseRoundEnd, 1, 5, 0, 2)
+		close(done)
+	}()
+
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	if err := runFollow(w, srv.URL, 50*time.Millisecond, 2); err != nil {
+		t.Fatalf("runFollow: %v", err)
+	}
+	<-done
+	out := buf.String()
+	for _, want := range []string{
+		"-- following",
+		"chase.round_start",
+		"! #",             // anomaly marker
+		"test_anomaly",    // anomaly name in the payload
+		"chase.round_end", // recorded between polls
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("follow output missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "chase.round_start"); n != 1 {
+		t.Errorf("event printed %d times, want once:\n%s", n, out)
+	}
+}
+
+func TestRunFollowUnreachable(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	err := runFollow(w, "127.0.0.1:1", time.Millisecond, 1)
+	if err == nil || !strings.Contains(err.Error(), "following") {
+		t.Fatalf("expected a first-poll fetch error, got %v", err)
+	}
+}
+
+// TestProfileReport runs the -profile report against a bundle captured with
+// attribution on: the table must surface the interned body with its counts.
+func TestProfileReport(t *testing.T) {
+	t.Cleanup(flight.Disable)
+	flight.Enable(16)
+	prev := attr.Enabled()
+	attr.SetEnabled(true)
+	t.Cleanup(func() {
+		attr.SetEnabled(prev)
+		attr.Reset()
+	})
+	id := attr.Intern("emp(X, D), dept(D)")
+	attr.NewCounterVec(attr.FamSearches).Add(id, 4)
+	attr.NewCounterVec(attr.FamNodes).Add(id, 123)
+
+	dir := filepath.Join(t.TempDir(), "bundle")
+	if err := flight.Capture("profile-test").WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, dir, false, 0, false, false, true, 10); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== Profile ==", "emp(X, D), dept(D)", "123"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestProfileReportNoAttr: a bundle without an attribution snapshot says so
+// instead of printing an empty table.
+func TestProfileReportNoAttr(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, filepath.Join("testdata", "fixture-bundle"), false, 0, false, false, true, 10); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "no attribution snapshot") {
+		t.Errorf("missing no-attr notice:\n%s", buf.String())
+	}
+}

@@ -22,10 +22,12 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"kbrepair/internal/core"
 	"kbrepair/internal/exp"
 	"kbrepair/internal/inquiry"
+	"kbrepair/internal/obs/attr"
 	"kbrepair/internal/obs/flight"
 )
 
@@ -35,10 +37,15 @@ func main() {
 		tail        = flag.Int("tail", 0, "print only the last N timeline events (0 = all)")
 		withMetrics = flag.Bool("metrics", false, "print the bundle's metrics snapshot")
 		goroutines  = flag.Bool("goroutines", false, "print the goroutine stacks")
+		profile     = flag.Bool("profile", false, "print the per-rule plan-quality profile from the bundle's attribution snapshot")
+		top         = flag.Int("top", 10, "with -profile: rows to print (0 = all)")
 		diff        = flag.Bool("diff", false, "compare two bundles (usage: kbdump -diff old new)")
+		follow      = flag.Bool("follow", false, "poll a live /debugz endpoint, streaming new flight events (usage: kbdump -follow host:port)")
+		interval    = flag.Duration("interval", 2*time.Second, "with -follow: polling interval")
+		polls       = flag.Int("polls", 0, "with -follow: stop after N polls (0 = until the process goes away)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: kbdump [flags] <bundle>\n       kbdump -diff <old-bundle> <new-bundle>\n\nA bundle is a -debug-bundle directory or a /debugz JSON file.\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: kbdump [flags] <bundle>\n       kbdump -diff <old-bundle> <new-bundle>\n       kbdump -follow <host:port | url>\n\nA bundle is a -debug-bundle directory or a /debugz JSON file.\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -52,8 +59,14 @@ func main() {
 			os.Exit(2)
 		}
 		runErr = runDiff(out, flag.Arg(0), flag.Arg(1))
+	case *follow:
+		if flag.NArg() != 1 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		runErr = runFollow(out, flag.Arg(0), *interval, *polls)
 	case flag.NArg() == 1:
-		runErr = run(out, flag.Arg(0), *timeline, *tail, *withMetrics, *goroutines)
+		runErr = run(out, flag.Arg(0), *timeline, *tail, *withMetrics, *goroutines, *profile, *top)
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -133,7 +146,7 @@ func parseEvents(b *flight.Bundle) ([]event, error) {
 	return out, nil
 }
 
-func run(w io.Writer, path string, timeline bool, tail int, withMetrics, goroutines bool) error {
+func run(w io.Writer, path string, timeline bool, tail int, withMetrics, goroutines, profile bool, top int) error {
 	b, err := flight.ReadBundle(path)
 	if err != nil {
 		return err
@@ -147,6 +160,9 @@ func run(w io.Writer, path string, timeline bool, tail int, withMetrics, gorouti
 	writeDigest(w, b)
 	writeJournal(w, b)
 	writeAnomalies(w, events)
+	if profile {
+		writeProfile(w, b, top)
+	}
 	if timeline {
 		writeTimeline(w, events, tail)
 	}
@@ -248,6 +264,42 @@ func writeAnomalies(w io.Writer, events []event) {
 	}
 	for _, l := range lines {
 		fmt.Fprintln(w, l)
+	}
+	fmt.Fprintln(w)
+}
+
+// writeProfile renders the per-rule plan-quality table from the bundle's
+// attribution snapshot: the most expensive bodies first, so "which rule is
+// slow?" is the first line.
+func writeProfile(w io.Writer, b *flight.Bundle, top int) {
+	fmt.Fprintln(w, "== Profile ==")
+	if b.Attr == nil {
+		fmt.Fprintln(w, "  no attribution snapshot in this bundle (the process ran without per-rule attribution)")
+		fmt.Fprintln(w)
+		return
+	}
+	all := attr.Rows(b.Attr)
+	rows := all
+	if top > 0 && len(rows) > top {
+		rows = rows[:top]
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "  no homomorphism searches recorded")
+		fmt.Fprintln(w)
+		return
+	}
+	fmt.Fprintf(w, "  %-40s %9s %12s %10s %12s %9s %9s %6s\n",
+		"body", "searches", "nodes", "med.nodes", "probes", "matches", "seconds", "share")
+	for _, r := range rows {
+		body := r.Body
+		if len(body) > 40 {
+			body = body[:37] + "..."
+		}
+		fmt.Fprintf(w, "  %-40s %9d %12d %10.0f %12d %9d %9.3f %5.1f%%\n",
+			body, r.Searches, r.Nodes, r.MedianNodes, r.Probes, r.Matches, r.Seconds, r.TimeShare*100)
+	}
+	if len(all) > len(rows) {
+		fmt.Fprintf(w, "  ... %d more bodies elided (-top)\n", len(all)-len(rows))
 	}
 	fmt.Fprintln(w)
 }

@@ -15,7 +15,7 @@ import (
 //	KBDUMP_UPDATE_GOLDEN=1 go test ./cmd/kbdump/
 func TestFixtureBundleGolden(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, filepath.Join("testdata", "fixture-bundle"), true, 0, true, false); err != nil {
+	if err := run(&buf, filepath.Join("testdata", "fixture-bundle"), true, 0, true, false, false, 0); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	golden := filepath.Join("testdata", "fixture.golden")
@@ -38,7 +38,7 @@ func TestFixtureBundleGolden(t *testing.T) {
 // TestFixtureBundleTail exercises the -tail elision path on the same fixture.
 func TestFixtureBundleTail(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, filepath.Join("testdata", "fixture-bundle"), true, 2, false, false); err != nil {
+	if err := run(&buf, filepath.Join("testdata", "fixture-bundle"), true, 2, false, false, false, 0); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	out := buf.String()

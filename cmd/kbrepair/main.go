@@ -25,6 +25,7 @@ import (
 	"kbrepair/internal/core"
 	"kbrepair/internal/inquiry"
 	"kbrepair/internal/obs"
+	"kbrepair/internal/obs/attr"
 	"kbrepair/internal/obs/flight"
 	"kbrepair/internal/par"
 )
@@ -62,7 +63,10 @@ func main() {
 		os.Exit(1)
 	}
 	finish := flight.Setup("kbrepair", *flightCfg)
-	runErr := run(*kbPath, *stratName, *auto, *oracleKB, *seed, *outPath, *basic, *maxValues, *journal, *replay)
+	// Per-rule attribution rides along with the observability outputs: any
+	// -metrics/-trace/-pprof/-timeseries run gets a /profilez-able profile.
+	attr.SetEnabled(obsCfg.Enabled())
+	runErr := run(*kbPath, *stratName, *auto, *oracleKB, *seed, *outPath, *basic, *maxValues, *journal, *replay, *flightCfg)
 	if err := finish(); err != nil && runErr == nil {
 		runErr = err
 	}
@@ -75,7 +79,7 @@ func main() {
 	}
 }
 
-func run(kbPath, stratName string, auto bool, oraclePath string, seed int64, outPath string, basic bool, maxValues int, journalPath, replayPath string) error {
+func run(kbPath, stratName string, auto bool, oraclePath string, seed int64, outPath string, basic bool, maxValues int, journalPath, replayPath string, fcfg flight.Config) error {
 	kb, err := kbrepair.LoadKB(kbPath)
 	if err != nil {
 		return err
@@ -87,6 +91,9 @@ func run(kbPath, stratName string, auto bool, oraclePath string, seed int64, out
 	// describing the *input* KB, not a racy view of the store mid-repair.
 	digest := core.DigestKB(kb)
 	flight.SetDigestProvider(func() any { return digest })
+	// Now that the KB size is known, grow the flight ring to match (no-op
+	// when -flight-events was set explicitly).
+	fcfg.Autosize(kb.Facts.Len())
 
 	ok, err := kb.IsConsistent()
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"kbrepair/internal/core"
 	"kbrepair/internal/inquiry"
 	"kbrepair/internal/logic"
+	"kbrepair/internal/obs/flight"
 )
 
 const inconsistentKB = `
@@ -32,7 +33,7 @@ func writeKB(t *testing.T, content string) string {
 func TestRunAuto(t *testing.T) {
 	in := writeKB(t, inconsistentKB)
 	out := filepath.Join(t.TempDir(), "fixed.kb")
-	if err := run(in, "opti-mcd", true, "", 3, out, false, 0, "", ""); err != nil {
+	if err := run(in, "opti-mcd", true, "", 3, out, false, 0, "", "", flight.Config{}); err != nil {
 		t.Fatal(err)
 	}
 	fixed, err := kbrepair.LoadKB(out)
@@ -46,14 +47,14 @@ func TestRunAuto(t *testing.T) {
 
 func TestRunBasicMode(t *testing.T) {
 	in := writeKB(t, inconsistentKB)
-	if err := run(in, "random", true, "", 1, "", true, 0, "", ""); err != nil {
+	if err := run(in, "random", true, "", 1, "", true, 0, "", "", flight.Config{}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAlreadyConsistent(t *testing.T) {
 	in := writeKB(t, `p(a). [cdd] p(X), q(X) -> !.`)
-	if err := run(in, "opti-mcd", true, "", 1, "", false, 0, "", ""); err != nil {
+	if err := run(in, "opti-mcd", true, "", 1, "", false, 0, "", "", flight.Config{}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -68,7 +69,7 @@ hasAllergy(Mike, Penicillin).
 [cdd] prescribed(X, Y), hasAllergy(Y, X) -> !.
 `)
 	out := filepath.Join(t.TempDir(), "fixed.kb")
-	if err := run(in, "random", false, oracle, 1, out, true, 0, "", ""); err != nil {
+	if err := run(in, "random", false, oracle, 1, out, true, 0, "", "", flight.Config{}); err != nil {
 		t.Fatal(err)
 	}
 	fixed, err := kbrepair.LoadKB(out)
@@ -83,7 +84,7 @@ hasAllergy(Mike, Penicillin).
 func TestRunOracleSizeMismatch(t *testing.T) {
 	in := writeKB(t, inconsistentKB)
 	oracle := writeKB(t, `p(a).`)
-	if err := run(in, "random", false, oracle, 1, "", true, 0, "", ""); err == nil {
+	if err := run(in, "random", false, oracle, 1, "", true, 0, "", "", flight.Config{}); err == nil {
 		t.Error("mismatched oracle accepted")
 	}
 }
@@ -91,7 +92,7 @@ func TestRunOracleSizeMismatch(t *testing.T) {
 func TestRunUnwritableOut(t *testing.T) {
 	in := writeKB(t, inconsistentKB)
 	out := filepath.Join(t.TempDir(), "no", "such", "dir", "fixed.kb")
-	if err := run(in, "opti-mcd", true, "", 3, out, false, 0, "", ""); err == nil {
+	if err := run(in, "opti-mcd", true, "", 3, out, false, 0, "", "", flight.Config{}); err == nil {
 		t.Error("unwritable -out path accepted")
 	}
 }
@@ -99,14 +100,14 @@ func TestRunUnwritableOut(t *testing.T) {
 func TestRunUnwritableJournal(t *testing.T) {
 	in := writeKB(t, inconsistentKB)
 	journal := filepath.Join(t.TempDir(), "no", "such", "dir", "session.json")
-	if err := run(in, "opti-mcd", true, "", 3, "", false, 0, journal, ""); err == nil {
+	if err := run(in, "opti-mcd", true, "", 3, "", false, 0, journal, "", flight.Config{}); err == nil {
 		t.Error("unwritable -journal path accepted")
 	}
 }
 
 func TestRunUnknownStrategy(t *testing.T) {
 	in := writeKB(t, inconsistentKB)
-	if err := run(in, "nope", true, "", 1, "", false, 0, "", ""); err == nil {
+	if err := run(in, "nope", true, "", 1, "", false, 0, "", "", flight.Config{}); err == nil {
 		t.Error("unknown strategy accepted")
 	}
 }
@@ -142,12 +143,12 @@ func TestRunJournalAndReplay(t *testing.T) {
 	dir := t.TempDir()
 	journal := filepath.Join(dir, "session.json")
 	out1 := filepath.Join(dir, "fixed1.kb")
-	if err := run(in, "opti-join", true, "", 5, out1, false, 0, journal, ""); err != nil {
+	if err := run(in, "opti-join", true, "", 5, out1, false, 0, journal, "", flight.Config{}); err != nil {
 		t.Fatal(err)
 	}
 	// Replay the session on the same input: same repair (up to nulls).
 	out2 := filepath.Join(dir, "fixed2.kb")
-	if err := run(in, "opti-join", false, "", 5, out2, false, 0, "", journal); err != nil {
+	if err := run(in, "opti-join", false, "", 5, out2, false, 0, "", journal, flight.Config{}); err != nil {
 		t.Fatal(err)
 	}
 	a, err := kbrepair.LoadKB(out1)
@@ -161,7 +162,7 @@ func TestRunJournalAndReplay(t *testing.T) {
 	if !a.Facts.EqualUpToNullRenaming(b.Facts) {
 		t.Errorf("replay produced a different repair:\n%s\nvs\n%s", a.Facts, b.Facts)
 	}
-	if err := run(in, "opti-join", false, "", 5, "", false, 0, "", filepath.Join(dir, "missing.json")); err == nil {
+	if err := run(in, "opti-join", false, "", 5, "", false, 0, "", filepath.Join(dir, "missing.json"), flight.Config{}); err == nil {
 		t.Error("missing replay file accepted")
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"kbrepair/internal/homo"
 	"kbrepair/internal/logic"
 	"kbrepair/internal/obs"
+	"kbrepair/internal/obs/attr"
 	"kbrepair/internal/obs/flight"
 	"kbrepair/internal/par"
 	"kbrepair/internal/store"
@@ -46,6 +47,24 @@ var (
 	// overwrite each other last-writer-wins, which is fine for a dashboard.
 	gRound = obs.NewGauge(obs.StatusChaseRound)
 )
+
+// Per-TGD attribution families: which rule is checking, firing and deriving
+// (see internal/obs/attr). IDs are content-addressed by the rule's
+// canonical string and cached by rule pointer.
+var (
+	attrTriggers = attr.NewCounterVec(attr.FamTriggerChecks)
+	attrFirings  = attr.NewCounterVec(attr.FamRuleFirings)
+	attrDerived  = attr.NewCounterVec(attr.FamFactsDerived)
+)
+
+// ruleAttrID resolves (and caches) the attribution ID of a rule. Cold path:
+// called once per rule per round, only when attribution is enabled.
+func ruleAttrID(r *logic.TGD) attr.ID {
+	if id, ok := attr.OwnerID(r); ok {
+		return id
+	}
+	return attr.BindOwner(r, r.String())
+}
 
 // ErrBudget is returned when the chase exceeds its safety budget. On a
 // weakly-acyclic rule set this indicates a budget set too low; on arbitrary
@@ -278,8 +297,14 @@ func chaseLoop(base *store.Store, tgds []*logic.TGD, opts Options, abortPred str
 		var newDelta []store.FactID
 		var firings int64
 		for ri, rule := range tgds {
+			// Resolve the rule's attribution ID once per round, not per
+			// trigger (the resolve may intern, which takes a lock).
+			rid := attr.None
+			if attr.Enabled() && len(perRule[ri]) > 0 {
+				rid = ruleAttrID(rule)
+			}
 			for _, m := range perRule[ri] {
-				fired, derived, err := fire(s, rule, m, budget-len(res.Prov))
+				fired, derived, err := fire(s, rule, rid, m, budget-len(res.Prov))
 				if err != nil {
 					return res, err
 				}
@@ -335,8 +360,9 @@ func collectTriggers(s *store.Store, rule *logic.TGD, all bool, deltaSet map[sto
 // homomorphism into the current store. On firing it adds safe(H) — the head
 // with existential variables replaced by fresh nulls — and returns the new
 // fact ids in head-atom order.
-func fire(s *store.Store, rule *logic.TGD, m homo.Match, budget int) (bool, []store.FactID, error) {
+func fire(s *store.Store, rule *logic.TGD, rid attr.ID, m homo.Match, budget int) (bool, []store.FactID, error) {
 	mTriggers.Inc()
+	attrTriggers.Add(rid, 1)
 	frontier := m.Subst.Restrict(rule.FrontierVars())
 	if homo.CachedPlan(homo.CacheKey{Owner: rule, Tag: homo.TagHead}, rule.Head).ExistsSeeded(s, frontier) {
 		return false, nil, nil
@@ -345,6 +371,7 @@ func fire(s *store.Store, rule *logic.TGD, m homo.Match, budget int) (bool, []st
 		return false, nil, ErrBudget
 	}
 	mFirings.Inc()
+	attrFirings.Add(rid, 1)
 	inst := frontier.Clone()
 	existential := rule.ExistentialVars()
 	mNulls.Add(int64(len(existential)))
@@ -361,6 +388,7 @@ func fire(s *store.Store, rule *logic.TGD, m homo.Match, budget int) (bool, []st
 		ids[i] = id
 	}
 	mDerived.Add(int64(len(ids)))
+	attrDerived.Add(rid, int64(len(ids)))
 	return true, ids, nil
 }
 

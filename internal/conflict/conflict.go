@@ -19,6 +19,7 @@ import (
 	"kbrepair/internal/homo"
 	"kbrepair/internal/logic"
 	"kbrepair/internal/obs"
+	"kbrepair/internal/obs/attr"
 	"kbrepair/internal/obs/flight"
 	"kbrepair/internal/par"
 	"kbrepair/internal/store"
@@ -34,6 +35,22 @@ var (
 	mUpdates    = obs.NewCounter("conflict.tracker_updates")
 	mUpdateTime = obs.NewHistogram("conflict.update_seconds", obs.LatencyBuckets)
 )
+
+// Per-CDD attribution families (see internal/obs/attr).
+var (
+	attrFound  = attr.NewCounterVec(attr.FamConflictsFound)
+	attrPinned = attr.NewCounterVec(attr.FamPinnedScans)
+)
+
+// AttrID resolves (and caches) the attribution ID of a CDD, keyed by its
+// canonical string. Exported because the inquiry engine attributes
+// questions and Π-checks to the CDD whose conflict caused them.
+func AttrID(c *logic.CDD) attr.ID {
+	if id, ok := attr.OwnerID(c); ok {
+		return id
+	}
+	return attr.BindOwner(c, c.String())
+}
 
 // Conflict is one violation of one CDD.
 type Conflict struct {
@@ -198,6 +215,9 @@ func scanCDD(s *store.Store, cdd *logic.CDD, idx int, res *chase.Result) []*Conf
 		}
 		return true
 	})
+	if attr.Enabled() && len(out) > 0 {
+		attrFound.Add(AttrID(cdd), int64(len(out)))
+	}
 	return out
 }
 

@@ -1,0 +1,17 @@
+package conflict
+
+import (
+	"os"
+	"testing"
+
+	"kbrepair/internal/obs/flight"
+)
+
+// TestMain routes a red run through flight.DumpOnTestFailure so the repo's
+// make test (which sets KBREPAIR_TEST_BUNDLE) leaves a post-mortem debug
+// bundle for CI to upload. Plain local runs are unaffected.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	flight.DumpOnTestFailure(code)
+	os.Exit(code)
+}

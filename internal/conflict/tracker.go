@@ -6,6 +6,7 @@ import (
 	"kbrepair/internal/homo"
 	"kbrepair/internal/logic"
 	"kbrepair/internal/obs"
+	"kbrepair/internal/obs/attr"
 	"kbrepair/internal/obs/flight"
 	"kbrepair/internal/par"
 	"kbrepair/internal/store"
@@ -165,6 +166,9 @@ func (t *Tracker) Update(id store.FactID) {
 // never touches the tracker's mutable indexes.
 func (t *Tracker) scanPinned(id store.FactID, atom logic.Atom, task pinTask) []*Conflict {
 	cdd := t.cdds[task.ci]
+	if attr.Enabled() {
+		attrPinned.Add(AttrID(cdd), 1)
+	}
 	var out []*Conflict
 	task.plan.ForEachSeeded(t.base, task.seed, func(m homo.Match) bool {
 		facts := make([]store.FactID, 0, len(cdd.Body))

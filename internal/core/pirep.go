@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"kbrepair/internal/chase"
 	"kbrepair/internal/logic"
 	"kbrepair/internal/obs"
+	"kbrepair/internal/obs/attr"
 	"kbrepair/internal/obs/flight"
 	"kbrepair/internal/par"
 	"kbrepair/internal/store"
@@ -20,6 +22,14 @@ var (
 	mPiFull      = obs.NewCounter("core.pi_full_checks")
 	mPiCheckTime = obs.NewHistogram("core.pi_check_seconds", obs.LatencyBuckets)
 	mCFixChecks  = obs.NewCounter("core.cfix_checks")
+)
+
+// Per-cause attribution families: Π-check work billed to the CDD whose
+// conflict triggered the question being filtered (see PiChecker.SetCause).
+var (
+	attrPiFast = attr.NewCounterVec(attr.FamPiFastHits)
+	attrPiFull = attr.NewCounterVec(attr.FamPiFullChecks)
+	attrPiTime = attr.NewHistogramVec(attr.FamPiCheckSeconds, obs.LatencyBuckets)
 )
 
 // Position aliases store.Position; it is re-exported here because the core
@@ -107,11 +117,20 @@ type PiChecker struct {
 	// for the ablation benchmarks).
 	FastHits   int
 	FullChecks int
+	// cause is the attribution ID of the CDD whose conflict caused the
+	// current batch (attr.None when unknown). Atomic because checkChunk
+	// reads it from worker goroutines.
+	cause atomic.Int32
 }
+
+// SetCause attributes subsequent Π-check work to the given ID — the inquiry
+// engine sets it to the causing conflict's CDD before each SOUNDQUESTION.
+func (pc *PiChecker) SetCause(id attr.ID) { pc.cause.Store(int32(id)) }
 
 // NewPiChecker builds a checker for the KB with the optimization enabled.
 func NewPiChecker(kb *KB) *PiChecker {
 	pc := &PiChecker{kb: kb, ruleConst: make(map[logic.Term]bool), Optimized: true}
+	pc.cause.Store(int32(attr.None))
 	collect := func(as []logic.Atom) {
 		for _, a := range as {
 			for _, t := range a.Args {
@@ -169,6 +188,7 @@ func (pc *PiChecker) CheckBatch(pi Pi, fixes []Fix) ([]bool, error) {
 	defer func() {
 		flight.Record(flight.KindPiBatch, fastHits, int64(len(full)), accepted, 0)
 	}()
+	cause := attr.ID(pc.cause.Load())
 	for i, f := range fixes {
 		if pc.Optimized && pc.fastSafe(pi, f) {
 			pc.FastHits++
@@ -182,8 +202,10 @@ func (pc *PiChecker) CheckBatch(pi Pi, fixes []Fix) ([]bool, error) {
 		}
 		full = append(full, i)
 	}
+	attrPiFast.Add(cause, fastHits)
 	pc.FullChecks += len(full)
 	mPiFull.Add(int64(len(full)))
+	attrPiFull.Add(cause, int64(len(full)))
 	if err := pc.runFullChecks(pi, fixes, full, out); err != nil {
 		return nil, err
 	}
@@ -235,6 +257,7 @@ func (pc *PiChecker) runFullChecks(pi Pi, fixes []Fix, full []int, out []bool) e
 // Π-nulled instance, mutating only the fix position between checks.
 func (pc *PiChecker) checkChunk(pi Pi, fixes []Fix, idxs []int, out []bool) error {
 	nulled := nulledCopy(pc.kb.Facts, pi)
+	cause := attr.ID(pc.cause.Load())
 	for _, i := range idxs {
 		f := fixes[i]
 		// Algorithm 1 on (apply(F,{f}), Π ∪ {f.Pos}) is exactly the nulled
@@ -246,6 +269,7 @@ func (pc *PiChecker) checkChunk(pi Pi, fixes []Fix, idxs []int, out []bool) erro
 		tm := obs.StartTimer()
 		ok, err := chase.IsConsistentOpt(nulled, pc.kb.TGDs, pc.kb.CDDs, pc.kb.ChaseOpts)
 		mPiCheckTime.Since(tm)
+		attrPiTime.Since(cause, tm)
 		nulled.MustSetValue(f.Pos, prev)
 		if err != nil {
 			return err

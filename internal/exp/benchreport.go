@@ -14,8 +14,10 @@ import (
 )
 
 // BenchSchemaVersion identifies the BENCH.json layout; bump on breaking
-// changes so baseline comparisons can refuse incompatible files.
-const BenchSchemaVersion = 1
+// changes so baseline comparisons can refuse incompatible files. Version 2
+// added the plan-quality profile section and generalized the regression
+// record beyond latency metrics.
+const BenchSchemaVersion = 2
 
 // BenchEnv stamps the environment a benchmark ran in, so a baseline
 // comparison can warn when the machines differ.
@@ -50,6 +52,9 @@ type BenchReport struct {
 	Env           BenchEnv                 `json:"env"`
 	Metrics       obs.Snapshot             `json:"metrics"`
 	Summaries     map[string]stats.Summary `json:"summaries"`
+	// Profile is the plan-quality section (schema v2): per-body search
+	// costs from the attribution families, nil when attribution was off.
+	Profile *Profile `json:"profile,omitempty"`
 }
 
 // NewBenchReport assembles a report from a metrics snapshot, stamping the
@@ -116,23 +121,48 @@ func ReadBenchReportFile(path string) (BenchReport, error) {
 // nothing about the code.
 const benchNoiseFloorSeconds = 1e-6
 
-// Regression is one metric that got slower than the baseline allows.
+// treeNoiseFloorNodes is the per-body backtrack-node total below which the
+// tree-size check is skipped: tiny bodies expand a handful of nodes, and a
+// threshold-crossing swing there is one extra fact in a fixture, not a plan
+// regression. Unlike latency, node counts are exact and deterministic, so
+// the floor guards against triviality, not noise.
+const treeNoiseFloorNodes = 1000
+
+// Regression kinds: what quantity regressed.
+const (
+	// RegressionLatency is a latency-histogram mean regression (Old/New in
+	// seconds).
+	RegressionLatency = "latency"
+	// RegressionTree is a per-body backtrack-node total regression (Old/New
+	// in nodes) — the search tree grew, independent of machine speed.
+	RegressionTree = "tree"
+)
+
+// Regression is one metric that got worse than the baseline allows. Kind
+// says what Old/New measure: seconds for latency, nodes for tree.
 type Regression struct {
 	Metric string  `json:"metric"`
-	Old    float64 `json:"old_mean_seconds"`
-	New    float64 `json:"new_mean_seconds"`
+	Kind   string  `json:"kind"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
 	Ratio  float64 `json:"ratio"`
 }
 
 func (r Regression) String() string {
+	if r.Kind == RegressionTree {
+		return fmt.Sprintf("%s: backtrack nodes %.0f -> %.0f (%.2fx)", r.Metric, r.Old, r.New, r.Ratio)
+	}
 	return fmt.Sprintf("%s: mean %.3gs -> %.3gs (%.2fx)", r.Metric, r.Old, r.New, r.Ratio)
 }
 
 // CompareBenchReports checks every latency histogram present in both
-// reports: a metric regresses when its new mean exceeds the old mean by
-// more than the threshold factor (e.g. 1.25 allows 25% slack). Metrics
-// with no observations on either side, or with both means under the
-// 1µs noise floor, are skipped. Results are sorted worst-first.
+// reports — a metric regresses when its new mean exceeds the old mean by
+// more than the threshold factor (e.g. 1.25 allows 25% slack) — and, when
+// both reports carry a profile, every body's backtrack-node total: node
+// counts are deterministic, so a threshold-crossing growth is a genuine
+// plan-quality regression even on a machine with different speed. Metrics
+// with no observations on either side, or under the noise floors, are
+// skipped. Results are sorted worst-first.
 func CompareBenchReports(old, new BenchReport, threshold float64) []Regression {
 	var out []Regression
 	for name, oh := range old.Metrics.Histograms {
@@ -150,7 +180,29 @@ func CompareBenchReports(old, new BenchReport, threshold float64) []Regression {
 		}
 		ratio := newMean / oldMean
 		if ratio > threshold {
-			out = append(out, Regression{Metric: name, Old: oldMean, New: newMean, Ratio: ratio})
+			out = append(out, Regression{Metric: name, Kind: RegressionLatency, Old: oldMean, New: newMean, Ratio: ratio})
+		}
+	}
+	if old.Profile != nil && new.Profile != nil {
+		oldNodes := make(map[string]int64, len(old.Profile.Rows))
+		for _, r := range old.Profile.Rows {
+			oldNodes[r.Body] = r.Nodes
+		}
+		for _, nr := range new.Profile.Rows {
+			on, ok := oldNodes[nr.Body]
+			if !ok || on < treeNoiseFloorNodes {
+				continue
+			}
+			ratio := float64(nr.Nodes) / float64(on)
+			if ratio > threshold {
+				out = append(out, Regression{
+					Metric: "tree:" + nr.Body,
+					Kind:   RegressionTree,
+					Old:    float64(on),
+					New:    float64(nr.Nodes),
+					Ratio:  ratio,
+				})
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Ratio > out[j].Ratio })

@@ -1,0 +1,55 @@
+package exp
+
+import (
+	"kbrepair/internal/obs"
+	"kbrepair/internal/obs/attr"
+)
+
+// ProfileTopK bounds the profile rows embedded in a BenchReport. Fifty
+// bodies cover every rule of the paper's workloads several times over; a
+// truncated profile says so via the Truncated field instead of silently.
+const ProfileTopK = 50
+
+// Profile is the plan-quality section of a BenchReport: per-body search
+// cost attribution plus the plan-cache health figures. It is derived
+// entirely from deterministic quantities when obs timing is off, so two
+// runs of the same workload at any worker counts marshal byte-identically.
+type Profile struct {
+	// PlanCompiles / PlanCacheHits are the global plan-cache counters;
+	// CacheHitRate is hits/(hits+compiles), 0 when neither moved.
+	PlanCompiles  int64   `json:"plan_compiles"`
+	PlanCacheHits int64   `json:"plan_cache_hits"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	// Bodies is the number of distinct bodies with at least one search,
+	// before the top-K truncation; Truncated is how many rows were dropped.
+	Bodies    int `json:"bodies"`
+	Truncated int `json:"truncated,omitempty"`
+	// Rows are the most expensive bodies, sorted by self-time then
+	// backtrack nodes (see attr.Rows).
+	Rows []attr.Row `json:"rows"`
+}
+
+// BuildProfile assembles the profile from an attribution snapshot and the
+// global metrics snapshot. A nil attribution snapshot (attribution was
+// disabled) yields a nil profile, so the BenchReport section is omitted
+// rather than empty.
+func BuildProfile(s *attr.Snapshot, m obs.Snapshot) *Profile {
+	if s == nil {
+		return nil
+	}
+	rows := attr.Rows(s)
+	p := &Profile{
+		PlanCompiles:  m.Counters["homo.plan_compiles"],
+		PlanCacheHits: m.Counters["homo.plan_cache_hits"],
+		Bodies:        len(rows),
+	}
+	if total := p.PlanCompiles + p.PlanCacheHits; total > 0 {
+		p.CacheHitRate = float64(p.PlanCacheHits) / float64(total)
+	}
+	if len(rows) > ProfileTopK {
+		p.Truncated = len(rows) - ProfileTopK
+		rows = rows[:ProfileTopK]
+	}
+	p.Rows = rows
+	return p
+}

@@ -5,6 +5,7 @@ import (
 
 	"kbrepair/internal/logic"
 	"kbrepair/internal/obs"
+	"kbrepair/internal/obs/attr"
 	"kbrepair/internal/obs/flight"
 	"kbrepair/internal/store"
 )
@@ -17,6 +18,29 @@ var (
 	mPlanCompiles = obs.NewCounter("homo.plan_compiles")
 	mPlanHits     = obs.NewCounter("homo.plan_cache_hits")
 )
+
+// Per-body attribution families (see internal/obs/attr): every search
+// flushes its cost against the plan's interned body key, so the profile can
+// rank bodies by tree size and self-time.
+var (
+	attrSearches  = attr.NewCounterVec(attr.FamSearches)
+	attrNodes     = attr.NewCounterVec(attr.FamNodes)
+	attrProbes    = attr.NewCounterVec(attr.FamProbes)
+	attrMatches   = attr.NewCounterVec(attr.FamMatches)
+	attrNodesPer  = attr.NewHistogramVec(attr.FamNodesPerSearch, attr.SizeBuckets)
+	attrProbesPer = attr.NewHistogramVec(attr.FamProbesPerSearch, attr.SizeBuckets)
+	attrTime      = attr.NewHistogramVec(attr.FamSearchSeconds, obs.LatencyBuckets)
+)
+
+// bodyKey is the content-addressed attribution key of a conjunction: the
+// canonical rendering of its atoms, identical across KB clones, reps and
+// worker counts wherever the same body is compiled.
+func bodyKey(body []logic.Atom) string {
+	if len(body) == 0 {
+		return "(empty)"
+	}
+	return logic.AtomsString(body)
+}
 
 // planArg is one argument position of a compiled atom: either a ground term
 // that candidate facts must match exactly, or a variable slot into the
@@ -46,6 +70,11 @@ type Plan struct {
 	slotOf    map[logic.Term]int
 	slotAtoms [][]int // slot -> indices of atoms mentioning it
 	pool      sync.Pool
+	// aid is the interned attribution key of the body, resolved at compile
+	// time (attr.None when attribution was off then — plans compiled before
+	// attr.SetEnabled record nothing, which the CLIs avoid by enabling
+	// attribution before any work).
+	aid attr.ID
 }
 
 // Compile builds an execution plan for body. The compiled plan preserves the
@@ -57,6 +86,10 @@ func Compile(body []logic.Atom) *Plan {
 	p := &Plan{
 		atoms:  make([]planAtom, len(body)),
 		slotOf: make(map[logic.Term]int),
+		aid:    attr.None,
+	}
+	if attr.Enabled() {
+		p.aid = attr.Intern(bodyKey(body))
 	}
 	for i, a := range body {
 		pa := planAtom{pred: a.Pred, arity: len(a.Args), args: make([]planArg, len(a.Args))}
@@ -111,7 +144,15 @@ type CacheKey struct {
 	Tag   int
 }
 
-var planCache sync.Map // CacheKey -> *Plan
+var (
+	planCache sync.Map // CacheKey -> *Plan
+	// planCompileMu serializes cache misses so each key compiles exactly
+	// once. The old LoadOrStore race compiled a key twice when two workers
+	// missed together — harmless for the plans (the loser was dropped) but
+	// it made homo.plan_compiles / homo.plan_cache_hits depend on
+	// scheduling, which the profile's cache-hit rate must not.
+	planCompileMu sync.Mutex
+)
 
 // CachedPlan returns the compiled plan for key, compiling body on first use.
 // The cache is keyed by rule identity, not body contents: callers must pass
@@ -122,11 +163,14 @@ func CachedPlan(key CacheKey, body []logic.Atom) *Plan {
 		mPlanHits.Inc()
 		return v.(*Plan)
 	}
-	p := Compile(body)
-	if v, loaded := planCache.LoadOrStore(key, p); loaded {
+	planCompileMu.Lock()
+	defer planCompileMu.Unlock()
+	if v, ok := planCache.Load(key); ok {
 		mPlanHits.Inc()
 		return v.(*Plan)
 	}
+	p := Compile(body)
+	planCache.Store(key, p)
 	return p
 }
 
@@ -413,6 +457,13 @@ func (p *Plan) search(s *store.Store, seed logic.Subst, fn func(Match) bool) boo
 		}
 		flight.Record(flight.KindHomoSearch, 0, 0, 0, 1)
 		mTime.Since(tm)
+		if attr.Enabled() {
+			attrSearches.Add(p.aid, 1)
+			attrMatches.Add(p.aid, 1)
+			attrNodesPer.Observe(p.aid, 0)
+			attrProbesPer.Observe(p.aid, 0)
+			attrTime.Since(p.aid, tm)
+		}
 		return true
 	}
 	e := p.pool.Get().(*exec)
@@ -423,6 +474,15 @@ func (p *Plan) search(s *store.Store, seed logic.Subst, fn func(Match) bool) boo
 	mProbes.Add(e.probes)
 	flight.Record(flight.KindHomoSearch, int64(len(p.atoms)), e.nodes, e.probes, e.matches)
 	mTime.Since(tm)
+	if attr.Enabled() {
+		attrSearches.Add(p.aid, 1)
+		attrNodes.Add(p.aid, e.nodes)
+		attrProbes.Add(p.aid, e.probes)
+		attrMatches.Add(p.aid, e.matches)
+		attrNodesPer.Observe(p.aid, float64(e.nodes))
+		attrProbesPer.Observe(p.aid, float64(e.probes))
+		attrTime.Since(p.aid, tm)
+	}
 	e.release()
 	p.pool.Put(e)
 	return matched

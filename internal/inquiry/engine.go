@@ -9,6 +9,7 @@ import (
 	"kbrepair/internal/conflict"
 	"kbrepair/internal/core"
 	"kbrepair/internal/obs"
+	"kbrepair/internal/obs/attr"
 	"kbrepair/internal/obs/flight"
 )
 
@@ -28,6 +29,13 @@ var (
 	gPhase     = obs.NewGauge(obs.StatusPhase)
 	gConflicts = obs.NewGauge(obs.StatusConflictsRemaining)
 	gAsked     = obs.NewGauge(obs.StatusQuestionsAsked)
+)
+
+// Per-CDD attribution families: questions and their computation delay,
+// billed to the CDD of the conflict being resolved.
+var (
+	attrQuestions = attr.NewCounterVec(attr.FamQuestions)
+	attrQDelay    = attr.NewHistogramVec(attr.FamQuestionDelay, obs.LatencyBuckets)
 )
 
 // statusBegin resets the live-progress gauges for a fresh run.
@@ -225,6 +233,13 @@ var ErrUnanswerable = errors.New("inquiry: no sound question for a live conflict
 // the offered positions and the round record.
 func (e *Engine) ask(cs []*conflict.Conflict, x *conflict.Conflict, phase int) ([]core.Position, Round, error) {
 	t0 := time.Now()
+	// Attribute the Π-checks this question will run — and the question
+	// itself — to the CDD whose conflict is being resolved.
+	qid := attr.None
+	if attr.Enabled() {
+		qid = conflict.AttrID(x.CDD)
+		e.pc.SetCause(qid)
+	}
 	positions := e.Strategy.Positions(e, cs, x)
 	fixes, err := SoundQuestion(e.KB, e.pc, e.Pi, positions, e.Opts.MaxValuesPerPosition)
 	if err != nil {
@@ -249,6 +264,8 @@ func (e *Engine) ask(cs []*conflict.Conflict, x *conflict.Conflict, phase int) (
 	mQuestions.Inc()
 	gAsked.Add(1)
 	hDelay.Observe(delay.Seconds())
+	attrQuestions.Add(qid, 1)
+	attrQDelay.Observe(qid, delay.Seconds())
 	if phase == 1 {
 		mPhase1.Inc()
 	} else {
@@ -437,6 +454,11 @@ func (e *Engine) RunBasic() (*Result, error) {
 		statusRound(1, len(cs), len(res.Rounds))
 		t0 := time.Now()
 		x := pickRandom(cs, e.Rng)
+		qid := attr.None
+		if attr.Enabled() {
+			qid = conflict.AttrID(x.CDD)
+			e.pc.SetCause(qid)
+		}
 		positions := x.Positions(e.KB.Facts)
 		fixes, err := SoundQuestion(e.KB, e.pc, e.Pi, positions, e.Opts.MaxValuesPerPosition)
 		if err != nil {
@@ -451,6 +473,8 @@ func (e *Engine) RunBasic() (*Result, error) {
 		gAsked.Add(1)
 		mPhase1.Inc()
 		hDelay.Observe(delay.Seconds())
+		attrQuestions.Add(qid, 1)
+		attrQDelay.Observe(qid, delay.Seconds())
 		flight.Record(flight.KindQuestion, 1, int64(len(fixes)), int64(len(cs)), delay.Microseconds())
 		flight.ObserveQuestion(1, len(cs), delay)
 		f, err := e.User.Choose(e.KB, q)

@@ -1,0 +1,83 @@
+package attr
+
+import (
+	"testing"
+
+	"kbrepair/internal/obs"
+)
+
+// BenchmarkAttrRecordDisabled measures the cost a non-observed run pays per
+// call site: one atomic bool load. Must report 0 allocs/op.
+func BenchmarkAttrRecordDisabled(b *testing.B) {
+	v := NewCounterVec("bench.disabled_counter")
+	id := Intern("bench.disabled/key")
+	SetEnabled(false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Add(id, 1)
+	}
+}
+
+// BenchmarkAttrCounterAdd measures the enabled hot path: atomic slice load,
+// index, striped atomic add. Must report 0 allocs/op.
+func BenchmarkAttrCounterAdd(b *testing.B) {
+	v := NewCounterVec("bench.counter_add")
+	id := Intern("bench.counter_add/key")
+	prev := Enabled()
+	SetEnabled(true)
+	defer SetEnabled(prev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Add(id, 1)
+	}
+}
+
+// BenchmarkAttrCounterAddParallel exercises contended recording on one key
+// — the parallel conflict-scan shape — which the striped cells absorb.
+func BenchmarkAttrCounterAddParallel(b *testing.B) {
+	v := NewCounterVec("bench.counter_parallel")
+	id := Intern("bench.counter_parallel/key")
+	prev := Enabled()
+	SetEnabled(true)
+	defer SetEnabled(prev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			v.Add(id, 1)
+		}
+	})
+}
+
+// BenchmarkAttrHistogramObserve measures the enabled histogram path.
+func BenchmarkAttrHistogramObserve(b *testing.B) {
+	v := NewHistogramVec("bench.hist_observe", SizeBuckets)
+	id := Intern("bench.hist_observe/key")
+	prev := Enabled()
+	SetEnabled(true)
+	defer SetEnabled(prev)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Observe(id, float64(i&1023))
+	}
+}
+
+// BenchmarkAttrSince measures the timing path with obs timing disabled (the
+// common production shape: attribution on, clocks off) — the inert timer
+// must short-circuit before any clock read.
+func BenchmarkAttrSince(b *testing.B) {
+	v := NewHistogramVec("bench.hist_since", nil)
+	id := Intern("bench.hist_since/key")
+	prev := Enabled()
+	SetEnabled(true)
+	defer SetEnabled(prev)
+	tm := obs.StartTimer() // inert unless obs timing is enabled
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Since(id, tm)
+	}
+}

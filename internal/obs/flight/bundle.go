@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"kbrepair/internal/obs"
+	"kbrepair/internal/obs/attr"
 )
 
 // BundleSchemaVersion identifies the debug-bundle layout; bump on breaking
@@ -81,6 +82,10 @@ type Bundle struct {
 	Goroutines string            `json:"goroutines"`
 	KBDigest   json.RawMessage   `json:"kb_digest,omitempty"`
 	Journal    json.RawMessage   `json:"journal,omitempty"`
+	// Attr is the per-rule attribution snapshot; present only when
+	// attribution was enabled at capture time (additive section, so the
+	// schema version is unchanged).
+	Attr *attr.Snapshot `json:"attr,omitempty"`
 }
 
 // providers supply the KB-shaped sections the flight package cannot compute
@@ -159,6 +164,7 @@ func Capture(reason string) *Bundle {
 		Goroutines: allStacks(),
 		KBDigest:   marshalSection(digFn),
 		Journal:    marshalSection(jrnFn),
+		Attr:       attr.Capture(),
 	}
 	if r := Current(); r != nil {
 		events := r.Events()
@@ -180,6 +186,9 @@ func (b *Bundle) sections() []string {
 	}
 	if len(b.Journal) > 0 {
 		s = append(s, "journal.json")
+	}
+	if b.Attr != nil {
+		s = append(s, "attr.json")
 	}
 	return s
 }
@@ -243,6 +252,13 @@ func (b *Bundle) WriteDir(dir string) error {
 	}
 	if len(b.Journal) > 0 {
 		files["journal.json"] = append(append([]byte(nil), b.Journal...), '\n')
+	}
+	if b.Attr != nil {
+		attrData, err := json.MarshalIndent(b.Attr, "", "  ")
+		if err != nil {
+			return fmt.Errorf("debug bundle: %w", err)
+		}
+		files["attr.json"] = append(attrData, '\n')
 	}
 	for name, data := range files {
 		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
@@ -313,6 +329,13 @@ func ReadBundle(path string) (*Bundle, error) {
 	if data, err := os.ReadFile(filepath.Join(path, "journal.json")); err == nil {
 		b.Journal = json.RawMessage(bytes.TrimSpace(data))
 	}
+	if data, err := os.ReadFile(filepath.Join(path, "attr.json")); err == nil {
+		var s attr.Snapshot
+		if err := json.Unmarshal(data, &s); err != nil {
+			return nil, fmt.Errorf("debug bundle %s: attr: %w", path, err)
+		}
+		b.Attr = &s
+	}
 	return &b, nil
 }
 
@@ -322,8 +345,10 @@ type Config struct {
 	// the target of signal/panic dumps). Empty leaves signal/panic dumps to
 	// a per-process fallback under the OS temp directory.
 	BundleDir string
-	// Events is the flight-recorder capacity; 0 means DefaultCapacity and
-	// < 0 disables the recorder entirely.
+	// Events is the flight-recorder capacity; 0 (the default) starts at
+	// DefaultCapacity and lets Autosize grow the ring once the KB is
+	// loaded, an explicit positive value is used as-is, and < 0 disables
+	// the recorder entirely.
 	Events int
 }
 
@@ -334,8 +359,19 @@ func AddFlags(fs *flag.FlagSet) *Config {
 	fs.StringVar(&c.BundleDir, "debug-bundle", "",
 		"write a post-mortem debug bundle to this directory at exit (signal/panic dumps also land here)")
 	fs.IntVar(&c.Events, "flight-events", 0,
-		fmt.Sprintf("flight recorder capacity in events (0 = %d, negative disables)", DefaultCapacity))
+		"flight recorder capacity in events (omit to autosize from the KB, negative disables)")
 	return c
+}
+
+// Autosize resizes the process-wide recorder for a KB of the given fact
+// count — only when the user left -flight-events at its default (an
+// explicit capacity always wins). The CLIs call it right after the KB is
+// loaded; events recorded before the call are carried over.
+func (c Config) Autosize(facts int) {
+	if c.Events != 0 {
+		return
+	}
+	Resize(AutosizeCapacity(facts))
 }
 
 // dumpDir resolves where unsolicited (signal, panic) bundles go: the
@@ -412,6 +448,30 @@ func debugzHandler() http.Handler {
 		// Render errors past the first byte cannot be reported over HTTP.
 		_ = Capture(reason).WriteJSON(w)
 	})
+}
+
+// TestBundleEnv, when set in the environment, names the directory tree
+// test-failure bundles land in (one subdirectory per test binary). The
+// repo's make test sets it so a red tier-1 run leaves post-mortem bundles
+// for CI to upload.
+const TestBundleEnv = "KBREPAIR_TEST_BUNDLE"
+
+// DumpOnTestFailure writes a debug bundle when a test binary failed: call
+// it from TestMain after m.Run, passing the exit code, before os.Exit. It
+// is a no-op when the run passed or TestBundleEnv is unset, so regular
+// local test runs never write anything.
+func DumpOnTestFailure(code int) {
+	root := os.Getenv(TestBundleEnv)
+	if code == 0 || root == "" {
+		return
+	}
+	name := strings.TrimSuffix(filepath.Base(os.Args[0]), ".test")
+	dir := filepath.Join(root, name)
+	if err := Capture("test-failure").WriteDir(dir); err != nil {
+		fmt.Fprintf(os.Stderr, "flight: test-failure bundle: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "flight: wrote test-failure debug bundle to %s\n", dir)
 }
 
 func init() {

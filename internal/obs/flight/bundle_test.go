@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"kbrepair/internal/obs"
+	"kbrepair/internal/obs/attr"
 )
 
 func clearProviders(t *testing.T) {
@@ -191,5 +192,113 @@ func TestSetupExitBundle(t *testing.T) {
 	}
 	if b.Reason != "exit" || b.Cmd != "flighttest" {
 		t.Errorf("exit bundle manifest: reason=%q cmd=%q", b.Reason, b.Cmd)
+	}
+}
+
+func TestBundleAttrSectionRoundtrip(t *testing.T) {
+	resetGlobal(t)
+	clearProviders(t)
+	Enable(32)
+	prev := attr.Enabled()
+	attr.SetEnabled(true)
+	t.Cleanup(func() {
+		attr.SetEnabled(prev)
+		attr.Reset()
+	})
+	vec := attr.NewCounterVec("test.bundle_counter")
+	vec.Add(attr.Intern("r(X) -> s(X)"), 9)
+
+	b := Capture("attr-roundtrip")
+	if b.Attr == nil {
+		t.Fatal("attribution enabled but bundle has no attr section")
+	}
+	found := false
+	for _, s := range b.Sections {
+		if s == "attr.json" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("manifest sections missing attr.json: %v", b.Sections)
+	}
+
+	dir := filepath.Join(t.TempDir(), "bundle")
+	if err := b.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBundle(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Attr == nil {
+		t.Fatal("attr section lost in dir roundtrip")
+	}
+	id := -1
+	for i, k := range got.Attr.Keys {
+		if k == "r(X) -> s(X)" {
+			id = i
+		}
+	}
+	if id < 0 {
+		t.Fatalf("interned key missing from bundle attr keys: %v", got.Attr.Keys)
+	}
+	if v := got.Attr.Counter("test.bundle_counter", id); v != 9 {
+		t.Fatalf("counter did not roundtrip: got %d, want 9", v)
+	}
+}
+
+func TestCaptureOmitsAttrWhenDisabled(t *testing.T) {
+	resetGlobal(t)
+	clearProviders(t)
+	Enable(32)
+	prev := attr.Enabled()
+	attr.SetEnabled(false)
+	t.Cleanup(func() { attr.SetEnabled(prev) })
+
+	b := Capture("no-attr")
+	if b.Attr != nil {
+		t.Fatal("attr section present with attribution disabled")
+	}
+	for _, s := range b.Sections {
+		if s == "attr.json" {
+			t.Fatal("manifest lists attr.json with attribution disabled")
+		}
+	}
+}
+
+func TestDumpOnTestFailure(t *testing.T) {
+	resetGlobal(t)
+	clearProviders(t)
+	Enable(32)
+	Record(KindQuestion, 1, 2, 3, 4)
+	root := t.TempDir()
+	t.Setenv(TestBundleEnv, root)
+
+	// A passing run (code 0) writes nothing.
+	DumpOnTestFailure(0)
+	if entries, _ := os.ReadDir(root); len(entries) != 0 {
+		t.Fatalf("passing run wrote %d entries", len(entries))
+	}
+
+	// A failing run writes one bundle dir named after the test binary.
+	DumpOnTestFailure(1)
+	entries, err := os.ReadDir(root)
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("failing run wrote %d entries (err %v), want 1", len(entries), err)
+	}
+	b, err := ReadBundle(filepath.Join(root, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Reason != "test-failure" {
+		t.Fatalf("bundle reason = %q, want test-failure", b.Reason)
+	}
+
+	// Unset env: no-op even on failure.
+	t.Setenv(TestBundleEnv, "")
+	other := t.TempDir()
+	DumpOnTestFailure(1)
+	if entries, _ := os.ReadDir(other); len(entries) != 0 {
+		t.Fatal("bundle written with TestBundleEnv unset")
 	}
 }

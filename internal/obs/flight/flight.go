@@ -248,6 +248,54 @@ func Enable(capacity int) *Recorder {
 // Disable removes the process-wide recorder.
 func Disable() { active.Store(nil) }
 
+// MaxAutosizeCapacity bounds what AutosizeCapacity will pick: a ~1M-event
+// ring is tens of MB, plenty of tail for the largest KBs the experiments
+// load; anything bigger should be an explicit -flight-events choice.
+const MaxAutosizeCapacity = 1 << 20
+
+// AutosizeCapacity picks a ring capacity from the KB size: eight events per
+// fact covers the event volume of a full repair session over the retained
+// window (each question touches a handful of chase, scan and Π events),
+// clamped to [DefaultCapacity, MaxAutosizeCapacity].
+func AutosizeCapacity(facts int) int {
+	c := facts * 8
+	if c < DefaultCapacity {
+		return DefaultCapacity
+	}
+	if c > MaxAutosizeCapacity {
+		return MaxAutosizeCapacity
+	}
+	return c
+}
+
+// Resize replaces the process-wide recorder with one of the given capacity
+// (<= 0 uses DefaultCapacity), carrying over the retained events, sequence
+// numbering and time base, so events recorded before the resize — flag
+// parsing, KB load — keep their timestamps and stay in the dump. No-op
+// when no recorder is installed.
+func Resize(capacity int) {
+	r := active.Load()
+	if r == nil {
+		return
+	}
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	events := r.Events()
+	if drop := len(events) - capacity; drop > 0 {
+		events = events[drop:]
+	}
+	nw := &Recorder{start: r.start, buf: make([]Event, capacity)}
+	copy(nw.buf, events)
+	nw.next = len(events)
+	if nw.next == capacity {
+		nw.next = 0
+		nw.full = true
+	}
+	nw.seq = r.Total()
+	active.Store(nw)
+}
+
 // Active reports whether a process-wide recorder is installed.
 func Active() bool { return active.Load() != nil }
 

@@ -317,3 +317,103 @@ func TestKindStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestResizePreservesHistory(t *testing.T) {
+	resetGlobal(t)
+	Enable(8)
+	for i := 1; i <= 5; i++ {
+		Record(KindChaseRoundStart, int64(i), 0, 0, 0)
+	}
+	before := Current().Events()
+	Resize(64)
+	r := Current()
+	if r.Capacity() != 64 {
+		t.Fatalf("capacity = %d, want 64", r.Capacity())
+	}
+	if got := r.Total(); got != 5 {
+		t.Fatalf("Total() = %d, want 5 (sequence must carry over)", got)
+	}
+	after := r.Events()
+	if len(after) != len(before) {
+		t.Fatalf("retained %d events, want %d", len(after), len(before))
+	}
+	for i := range before {
+		if after[i] != before[i] {
+			t.Fatalf("event %d changed across resize: %+v vs %+v", i, before[i], after[i])
+		}
+	}
+	// Sequence numbering continues where it left off.
+	Record(KindChaseRoundEnd, 6, 0, 0, 0)
+	events := r.Events()
+	if last := events[len(events)-1]; last.Seq != 6 {
+		t.Fatalf("post-resize seq = %d, want 6", last.Seq)
+	}
+}
+
+func TestResizeShrinkDropsOldest(t *testing.T) {
+	resetGlobal(t)
+	Enable(8)
+	for i := 1; i <= 8; i++ {
+		Record(KindChaseRoundStart, int64(i), 0, 0, 0)
+	}
+	Resize(3)
+	r := Current()
+	events := r.Events()
+	if len(events) != 3 {
+		t.Fatalf("retained %d events, want 3", len(events))
+	}
+	for i, e := range events {
+		if want := int64(i + 6); e.N1 != want {
+			t.Fatalf("event %d: N1 = %d, want %d (newest three)", i, e.N1, want)
+		}
+	}
+	if r.Total() != 8 {
+		t.Fatalf("Total() = %d, want 8", r.Total())
+	}
+	// The shrunk ring is full: the next record evicts the oldest survivor.
+	Record(KindChaseRoundStart, 9, 0, 0, 0)
+	events = r.Events()
+	if len(events) != 3 || events[0].N1 != 7 || events[2].N1 != 9 {
+		t.Fatalf("ring after post-shrink record: %+v", events)
+	}
+}
+
+func TestResizeWithoutRecorderIsNoop(t *testing.T) {
+	resetGlobal(t)
+	Disable()
+	Resize(128)
+	if Active() {
+		t.Fatal("Resize installed a recorder where none was active")
+	}
+}
+
+func TestAutosizeCapacityClamps(t *testing.T) {
+	cases := []struct{ facts, want int }{
+		{0, DefaultCapacity},
+		{10, DefaultCapacity},
+		{DefaultCapacity, DefaultCapacity * 8},
+		{1 << 18, MaxAutosizeCapacity},
+		{1 << 30, MaxAutosizeCapacity},
+	}
+	for _, tc := range cases {
+		if got := AutosizeCapacity(tc.facts); got != tc.want {
+			t.Errorf("AutosizeCapacity(%d) = %d, want %d", tc.facts, got, tc.want)
+		}
+	}
+}
+
+func TestConfigAutosizeRespectsExplicitCapacity(t *testing.T) {
+	resetGlobal(t)
+	Enable(DefaultCapacity)
+	// Default config (Events == 0): autosize wins.
+	Config{}.Autosize(100_000)
+	if got, want := Current().Capacity(), AutosizeCapacity(100_000); got != want {
+		t.Fatalf("autosized capacity = %d, want %d", got, want)
+	}
+	// Explicit -flight-events: autosize must not touch the ring.
+	Enable(512)
+	Config{Events: 512}.Autosize(100_000)
+	if got := Current().Capacity(); got != 512 {
+		t.Fatalf("explicit capacity overridden: %d", got)
+	}
+}

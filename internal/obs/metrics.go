@@ -63,7 +63,9 @@ func (c *Counter) Value() int64 {
 // Name returns the registered name.
 func (c *Counter) Name() string { return c.name }
 
-func (c *Counter) reset() {
+// Reset zeroes the counter. Registry.Reset uses it; so do the labeled
+// families of internal/obs/attr, whose cells are unregistered Counters.
+func (c *Counter) Reset() {
 	for i := range c.cells {
 		c.cells[i].v.Store(0)
 	}
@@ -180,7 +182,8 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Name returns the registered name.
 func (h *Histogram) Name() string { return h.name }
 
-func (h *Histogram) reset() {
+// Reset zeroes the histogram; handles stay valid.
+func (h *Histogram) Reset() {
 	for i := range h.counts {
 		h.counts[i].Store(0)
 	}
@@ -190,9 +193,9 @@ func (h *Histogram) reset() {
 	h.max.store(math.Inf(-1))
 }
 
-// snapshot captures a consistent-enough view (individual fields are atomic;
+// Snapshot captures a consistent-enough view (individual fields are atomic;
 // cross-field skew of in-flight observations is acceptable for reporting).
-func (h *Histogram) snapshot() HistogramSnapshot {
+func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
 		Count:  h.count.Load(),
 		Bounds: h.bounds,
@@ -278,6 +281,28 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// NewUnregisteredHistogram returns a standalone histogram attached to no
+// registry (nil bounds mean LatencyBuckets) — the building block for the
+// labeled families of internal/obs/attr, which manage their own key space
+// instead of the registry's flat namespace.
+func NewUnregisteredHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = LatencyBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not increasing at %d", i))
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	h.min.store(math.Inf(1))
+	h.max.store(math.Inf(-1))
+	return h
+}
+
 // Histogram registers a histogram under name with the given upper bucket
 // bounds (must be strictly increasing; nil means LatencyBuckets), or
 // returns the existing one (bounds of a re-registration are ignored).
@@ -287,21 +312,8 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if h, ok := r.histograms[name]; ok {
 		return h
 	}
-	if bounds == nil {
-		bounds = LatencyBuckets
-	}
-	for i := 1; i < len(bounds); i++ {
-		if bounds[i] <= bounds[i-1] {
-			panic(fmt.Sprintf("obs: histogram %q bounds not increasing at %d", name, i))
-		}
-	}
-	h := &Histogram{
-		name:   name,
-		bounds: append([]float64(nil), bounds...),
-		counts: make([]atomic.Int64, len(bounds)+1),
-	}
-	h.min.store(math.Inf(1))
-	h.max.store(math.Inf(-1))
+	h := NewUnregisteredHistogram(bounds)
+	h.name = name
 	r.histograms[name] = h
 	return h
 }
@@ -322,7 +334,7 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[n] = g.Value()
 	}
 	for n, h := range r.histograms {
-		s.Histograms[n] = h.snapshot()
+		s.Histograms[n] = h.Snapshot()
 	}
 	return s
 }
@@ -333,13 +345,13 @@ func (r *Registry) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, c := range r.counters {
-		c.reset()
+		c.Reset()
 	}
 	for _, g := range r.gauges {
 		g.Set(0)
 	}
 	for _, h := range r.histograms {
-		h.reset()
+		h.Reset()
 	}
 }
 

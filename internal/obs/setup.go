@@ -10,6 +10,11 @@ import (
 // DefaultSampleEvery is the default time-series sampling interval.
 const DefaultSampleEvery = 250 * time.Millisecond
 
+// MaxFlightEvents is the largest flight-recorder capacity ValidateFlags
+// accepts for -flight-events: 16Mi events is ~1.5GB of ring buffer, far
+// past any plausible retention need — a bigger value is a typo.
+const MaxFlightEvents = 1 << 24
+
 // CLIConfig is the observability surface the CLIs expose as flags.
 type CLIConfig struct {
 	// MetricsPath, when non-empty, enables latency timing and writes a
@@ -46,12 +51,16 @@ func AddFlags(fs *flag.FlagSet) *CLIConfig {
 // ValidateFlags checks flag values that parse fine but make no sense, after
 // fs has been parsed. It rejects an explicitly passed non-positive
 // -sample-interval (the zero default means "ticker off" internally, but a
-// user typing -sample-interval 0 almost certainly wanted sampling), and an
-// explicitly passed non-positive value for each flag named in positiveInts
-// (e.g. "workers", whose default 0 means GOMAXPROCS — valid as a default,
-// nonsense as input). Only flags the user actually set are checked, via
-// fs.Visit. Returns the first offending flag as an error; the CLIs print it
-// and exit 2, the flag package's own usage-error status.
+// user typing -sample-interval 0 almost certainly wanted sampling), an
+// explicitly passed -flight-events of 0 (the default 0 means "autosize
+// from the KB"; a user typing it either wanted the autosize — omit the
+// flag — or to disable the recorder, which is any negative value) or above
+// MaxFlightEvents, and an explicitly passed non-positive value for each
+// flag named in positiveInts (e.g. "workers", whose default 0 means
+// GOMAXPROCS — valid as a default, nonsense as input). Only flags the user
+// actually set are checked, via fs.Visit. Returns the first offending flag
+// as an error; the CLIs print it and exit 2, the flag package's own
+// usage-error status.
 func ValidateFlags(fs *flag.FlagSet, positiveInts ...string) error {
 	positive := make(map[string]bool, len(positiveInts))
 	for _, name := range positiveInts {
@@ -67,6 +76,17 @@ func ValidateFlags(fs *flag.FlagSet, positiveInts ...string) error {
 			if g, ok := f.Value.(flag.Getter); ok {
 				if d, ok := g.Get().(time.Duration); ok && d <= 0 {
 					first = fmt.Errorf("-sample-interval must be positive, got %v", d)
+				}
+			}
+		case f.Name == "flight-events":
+			if g, ok := f.Value.(flag.Getter); ok {
+				if n, ok := g.Get().(int); ok {
+					switch {
+					case n == 0:
+						first = fmt.Errorf("-flight-events 0 is ambiguous: omit the flag to autosize from the KB, or pass a negative value to disable the recorder")
+					case n > MaxFlightEvents:
+						first = fmt.Errorf("-flight-events must be at most %d, got %d", MaxFlightEvents, n)
+					}
 				}
 			}
 		case positive[f.Name]:

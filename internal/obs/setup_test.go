@@ -12,6 +12,7 @@ func newCLIFlagSet() *flag.FlagSet {
 	fs := flag.NewFlagSet("test", flag.ContinueOnError)
 	AddFlags(fs)
 	fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	fs.Int("flight-events", 0, "flight recorder capacity (0 autosizes, negative disables)")
 	return fs
 }
 
@@ -36,6 +37,22 @@ func TestValidateFlags(t *testing.T) {
 		// The defaults are never rejected: -workers 0 as a *default* means
 		// GOMAXPROCS and -sample-interval only matters when set.
 		{name: "unset defaults pass", args: []string{"-metrics", "out.json"}},
+		// -flight-events: 0 as a default autosizes, but an *explicit* 0 is
+		// ambiguous (did the user mean "off"?) and rejected; negative
+		// explicitly disables and positive sets the capacity, both fine up
+		// to the sanity cap.
+		{name: "flight events positive", args: []string{"-flight-events", "4096"}},
+		{name: "flight events disable", args: []string{"-flight-events", "-1"}},
+		{
+			name:    "flight events explicit zero",
+			args:    []string{"-flight-events", "0"},
+			wantErr: "-flight-events 0 is ambiguous",
+		},
+		{
+			name:    "flight events above cap",
+			args:    []string{"-flight-events", "16777217"},
+			wantErr: "-flight-events must be at most 16777216",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

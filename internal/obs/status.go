@@ -59,7 +59,7 @@ func MetricsHandler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		// Render errors past the first byte cannot be reported over HTTP;
 		// the client sees a truncated (and thus unparseable) body.
-		_ = WritePrometheus(w, Default().Snapshot())
+		_ = WriteFullPrometheus(w, Default().Snapshot())
 	})
 }
 
