@@ -5,7 +5,7 @@ GO ?= go
 BENCH_ARGS ?= -exp fig3 -scale 0.25 -reps 3 -seed 1
 BENCH_THRESHOLD ?= 1.25
 
-.PHONY: build test verify verify2 bench bench-check bench-check-report bench-go bench-smoke bench-workers bundle-smoke ci
+.PHONY: build test verify verify2 bench bench-check bench-check-report bench-go bench-smoke bench-workers bundle-smoke trace-smoke ci
 
 build:
 	$(GO) build ./...
@@ -78,6 +78,17 @@ bundle-smoke:
 		-journal smoke-bundle/journal.json -debug-bundle smoke-bundle/bundle
 	$(GO) run ./cmd/kbdump -metrics smoke-bundle/bundle
 
+# trace-smoke exercises the causal-tracing pipeline end to end: generate a
+# KB, repair it with -trace, then require kbtrace to produce a non-empty
+# waterfall (it exits non-zero when the trace has no question spans) and a
+# self-validated Chrome trace_event export.
+trace-smoke:
+	rm -rf smoke-trace && mkdir -p smoke-trace
+	$(GO) run ./cmd/kbgen -facts 120 -ratio 0.2 -cdds 5 -seed 1 -quiet -out smoke-trace/smoke.kb
+	$(GO) run ./cmd/kbrepair -kb smoke-trace/smoke.kb -auto -seed 1 -trace smoke-trace/run.trace
+	$(GO) run ./cmd/kbtrace -waterfall smoke-trace/run.trace
+	$(GO) run ./cmd/kbtrace -critical-path -chrome smoke-trace/chrome.json smoke-trace/run.trace
+
 # ci is the whole gate in one target, mirroring .github/workflows/ci.yml
 # for environments without Actions.
-ci: verify verify2 bench-smoke bench-check-report bundle-smoke
+ci: verify verify2 bench-smoke bench-check-report bundle-smoke trace-smoke

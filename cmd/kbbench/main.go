@@ -56,9 +56,14 @@ func main() {
 	}
 	finish := flight.Setup("kbbench", *flightCfg)
 	benching := *benchJSON != "" || *baseline != ""
+	var benchRing *obs.RingSink
 	if benching {
-		// The report's latency summaries need the opt-in timers on.
+		// The report's latency summaries need the opt-in timers on, and its
+		// trace section a span stream of the benchmarked runs — a large ring
+		// teed onto whatever sink -trace may have installed.
 		obs.SetEnabled(true)
+		benchRing = obs.NewRingSink(1 << 17)
+		obs.AddTraceSink(benchRing)
 	}
 	// The report's profile section and the observability outputs both want
 	// per-rule attribution; plain table runs skip its memory cost.
@@ -74,6 +79,7 @@ func main() {
 		snap := obs.Default().Snapshot()
 		rep := exp.NewBenchReport(label, snap)
 		rep.Profile = exp.BuildProfile(attr.Capture(), snap)
+		rep.Trace = exp.BuildTraceSummary(benchRing.Records(), benchRing.Total())
 		runErr = benchBaseline(out, rep, *benchJSON, *baseline, *threshold, *regressOK)
 	}
 	if err := out.Flush(); err != nil && runErr == nil {

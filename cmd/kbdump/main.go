@@ -159,6 +159,7 @@ func run(w io.Writer, path string, timeline bool, tail int, withMetrics, gorouti
 	writeManifest(w, b)
 	writeDigest(w, b)
 	writeJournal(w, b)
+	writeTrace(w, b)
 	writeAnomalies(w, events)
 	if profile {
 		writeProfile(w, b, top)
@@ -247,6 +248,32 @@ func writeJournal(w io.Writer, b *flight.Bundle) {
 		fmt.Fprint(w, " [no KB digest header]")
 	}
 	fmt.Fprintln(w)
+	fmt.Fprintln(w)
+}
+
+// writeTrace renders the bundle's trace digest: the slowest recent
+// questions with their latency decomposition, the post-mortem answer to
+// "what was the dialogue waiting on?". Absent when the process ran without
+// tracing.
+func writeTrace(w io.Writer, b *flight.Bundle) {
+	if b.Trace == nil {
+		return
+	}
+	d := b.Trace
+	fmt.Fprintln(w, "== Trace ==")
+	fmt.Fprintf(w, "  spans: %d retained of %d records, questions=%d\n",
+		d.SpansRetained, d.RecordsTotal, d.Questions)
+	for _, q := range d.Slowest {
+		fmt.Fprintf(w, "  question %d (phase %d) total=%s", q.Q, q.Phase, fmtT(q.TotalUS))
+		if q.EngineDelayUS >= 0 {
+			fmt.Fprintf(w, " delay=%s", fmtT(q.EngineDelayUS))
+		}
+		fmt.Fprintln(w)
+		for _, c := range q.Components {
+			fmt.Fprintf(w, "    %-24s %10s  x%d\n", c.Name, fmtT(c.DurUS), c.Count)
+		}
+		fmt.Fprintf(w, "    %-24s %10s\n", "(unattributed)", fmtT(q.UnattributedUS))
+	}
 	fmt.Fprintln(w)
 }
 

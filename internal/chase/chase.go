@@ -186,6 +186,15 @@ type Options struct {
 	MaxDerived int
 	// MaxRounds caps saturation rounds (0 means the default of 10_000).
 	MaxRounds int
+	// TraceParent is the span id the chase.run trace span is parented
+	// under (0 for a root span) — how callers attribute chase time to the
+	// question or scan that triggered it.
+	TraceParent uint64
+	// TraceQuiet suppresses the run's trace spans entirely. The Π-check
+	// worker pool sets it: spans emitted from concurrent workers would
+	// interleave nondeterministically in the trace, so those chases stay
+	// silent and their time is attributed at the batch level instead.
+	TraceQuiet bool
 }
 
 func (o Options) maxDerived() int {
@@ -218,10 +227,10 @@ func run(base *store.Store, tgds []*logic.TGD, opts Options, abortPred string) (
 	mRuns.Inc()
 	tm := obs.StartTimer()
 	defer mRunTime.Since(tm)
-	if obs.Tracing() {
-		sp := obs.StartSpan("chase.run",
+	if obs.Tracing() && !opts.TraceQuiet {
+		sp := obs.StartSpanUnder(opts.TraceParent, "chase.run",
 			obs.Int("base_facts", base.Len()), obs.Int("tgds", len(tgds)))
-		res, err := chaseLoop(base, tgds, opts, abortPred)
+		res, err := chaseLoop(base, tgds, opts, abortPred, sp)
 		if res != nil {
 			sp.End(obs.Int("rounds", res.Rounds), obs.Int("derived", len(res.Prov)))
 		} else {
@@ -229,7 +238,7 @@ func run(base *store.Store, tgds []*logic.TGD, opts Options, abortPred string) (
 		}
 		return res, err
 	}
-	return chaseLoop(base, tgds, opts, abortPred)
+	return chaseLoop(base, tgds, opts, abortPred, obs.Span{})
 }
 
 // chaseLoop is the saturation engine. Each round has two phases:
@@ -247,7 +256,14 @@ func run(base *store.Store, tgds []*logic.TGD, opts Options, abortPred string) (
 //
 // The round gauge is written only here, between phases, never from the
 // collection workers.
-func chaseLoop(base *store.Store, tgds []*logic.TGD, opts Options, abortPred string) (*Result, error) {
+//
+// sp is the enclosing chase.run trace span (inert when tracing is off):
+// each round emits a chase.round child, so a slow chase decomposes
+// round-by-round in the waterfall. Round spans, like all pipeline spans,
+// are opened and closed on this goroutine only — the collection workers
+// never touch the tracer — which keeps the trace byte-identical across
+// worker counts.
+func chaseLoop(base *store.Store, tgds []*logic.TGD, opts Options, abortPred string, sp obs.Span) (*Result, error) {
 	res := &Result{
 		Store:   base.Clone(),
 		BaseLen: base.Len(),
@@ -273,7 +289,9 @@ func chaseLoop(base *store.Store, tgds []*logic.TGD, opts Options, abortPred str
 		gRound.Set(int64(res.Rounds))
 		flight.Record(flight.KindChaseRoundStart, int64(res.Rounds), int64(len(delta)), 0, 0)
 		flight.ObserveChaseRound(res.Rounds, opts.maxRounds())
+		rsp := sp.Child("chase.round")
 		if res.Rounds > opts.maxRounds() {
+			rsp.End()
 			return res, fmt.Errorf("%w: more than %d rounds", ErrBudget, opts.maxRounds())
 		}
 		deltaSet := make(map[store.FactID]bool, len(delta))
@@ -306,6 +324,7 @@ func chaseLoop(base *store.Store, tgds []*logic.TGD, opts Options, abortPred str
 			for _, m := range perRule[ri] {
 				fired, derived, err := fire(s, rule, rid, m, budget-len(res.Prov))
 				if err != nil {
+					rsp.End()
 					return res, err
 				}
 				if !fired {
@@ -317,12 +336,23 @@ func chaseLoop(base *store.Store, tgds []*logic.TGD, opts Options, abortPred str
 					newDelta = append(newDelta, id)
 					if abortPred != "" && s.FactRef(id).Pred == abortPred {
 						flight.Record(flight.KindChaseRoundEnd, int64(res.Rounds), int64(len(newDelta)), deferred, firings)
+						if rsp.Live() {
+							rsp.End(obs.Int("round", res.Rounds),
+								obs.Int("derived", len(newDelta)),
+								obs.Int64("firings", firings),
+								obs.Bool("aborted", true))
+						}
 						return res, nil
 					}
 				}
 			}
 		}
 		flight.Record(flight.KindChaseRoundEnd, int64(res.Rounds), int64(len(newDelta)), deferred, firings)
+		if rsp.Live() {
+			rsp.End(obs.Int("round", res.Rounds),
+				obs.Int("derived", len(newDelta)),
+				obs.Int64("firings", firings))
+		}
 		delta = newDelta
 	}
 	return res, nil

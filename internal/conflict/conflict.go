@@ -165,9 +165,22 @@ func dedupIDs(ids []store.FactID) []store.FactID {
 // in CDD-index order, and each search enumerates deterministically, so the
 // output is byte-identical to a sequential scan regardless of -workers.
 func AllNaive(base *store.Store, cdds []*logic.CDD) []*Conflict {
+	return AllNaiveUnder(0, base, cdds)
+}
+
+// AllNaiveUnder is AllNaive with the scan's trace span parented under the
+// given span id (0 for a root) — the inquiry engine uses it to attribute
+// detection time to the run or question that triggered the scan. The span
+// is emitted from this goroutine only; the per-CDD workers stay silent.
+func AllNaiveUnder(parent uint64, base *store.Store, cdds []*logic.CDD) []*Conflict {
 	mScans.Inc()
 	tm := obs.StartTimer()
 	defer mDetectTime.Since(tm)
+	var sp obs.Span
+	if obs.Tracing() {
+		sp = obs.StartSpanUnder(parent, "conflict.scan",
+			obs.Int("cdds", len(cdds)), obs.Bool("naive", true))
+	}
 	perCDD := par.Map(len(cdds), func(i int) []*Conflict {
 		return scanCDD(base, cdds[i], i, nil)
 	})
@@ -177,6 +190,9 @@ func AllNaive(base *store.Store, cdds []*logic.CDD) []*Conflict {
 	}
 	mFound.Add(int64(len(out)))
 	flight.Record(flight.KindConflictScan, int64(len(cdds)), int64(len(out)), 0, 0)
+	if sp.Live() {
+		sp.End(obs.Int("conflicts", len(out)))
+	}
 	return out
 }
 
@@ -231,9 +247,20 @@ func All(base *store.Store, tgds []*logic.TGD, cdds []*logic.CDD, opts chase.Opt
 	mScans.Inc()
 	tm := obs.StartTimer()
 	defer mDetectTime.Since(tm)
+	// The scan span is parented wherever the caller pointed the chase
+	// options (e.g. the inquiry.question span); the chase run underneath is
+	// then re-parented under the scan, so the waterfall shows
+	// question → conflict.scan → chase.run → chase.round.
+	var sp obs.Span
+	if obs.Tracing() && !opts.TraceQuiet {
+		sp = obs.StartSpanUnder(opts.TraceParent, "conflict.scan",
+			obs.Int("cdds", len(cdds)), obs.Bool("naive", false))
+		opts.TraceParent = sp.ID()
+	}
 	tgds = chase.RelevantTGDs(tgds, cdds)
 	res, err := chase.Run(base, tgds, opts)
 	if err != nil {
+		sp.End()
 		return nil, nil, err
 	}
 	// Same fan-out shape as AllNaive: one read-only task per CDD over the
@@ -248,6 +275,9 @@ func All(base *store.Store, tgds []*logic.TGD, cdds []*logic.CDD, opts chase.Opt
 	}
 	mFound.Add(int64(len(out)))
 	flight.Record(flight.KindConflictScan, int64(len(cdds)), int64(len(out)), 1, 0)
+	if sp.Live() {
+		sp.End(obs.Int("conflicts", len(out)))
+	}
 	return out, res, nil
 }
 

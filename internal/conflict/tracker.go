@@ -36,6 +36,12 @@ type Tracker struct {
 // store: callers mutate it through store.SetValue and then call Update with
 // the affected fact.
 func NewTracker(base *store.Store, cdds []*logic.CDD) *Tracker {
+	return NewTrackerUnder(0, base, cdds)
+}
+
+// NewTrackerUnder is NewTracker with the initial conflict scan's trace span
+// parented under the given span id (0 for a root).
+func NewTrackerUnder(parent uint64, base *store.Store, cdds []*logic.CDD) *Tracker {
 	t := &Tracker{
 		base:      base,
 		cdds:      cdds,
@@ -65,7 +71,7 @@ func NewTracker(base *store.Store, cdds []*logic.CDD) *Tracker {
 			t.pinPlans[i][ai] = homo.CachedPlan(homo.CacheKey{Owner: c, Tag: homo.TagPinned + ai}, rest)
 		}
 	}
-	for _, c := range AllNaive(base, cdds) {
+	for _, c := range AllNaiveUnder(parent, base, cdds) {
 		t.add(c)
 	}
 	return t
@@ -124,9 +130,21 @@ type pinTask struct {
 // only mutated afterwards, on the calling goroutine, in task order — the
 // conflict set ends up identical for any worker count.
 func (t *Tracker) Update(id store.FactID) {
+	t.UpdateUnder(0, id)
+}
+
+// UpdateUnder is Update with the trace span parented under the given span
+// id — the inquiry engine attributes each incremental re-sync to the
+// question whose answer caused it. The span is emitted on this goroutine;
+// the pinned-seed workers never touch the tracer.
+func (t *Tracker) UpdateUnder(parent uint64, id store.FactID) {
 	mUpdates.Inc()
 	tm := obs.StartTimer()
 	defer mUpdateTime.Since(tm)
+	var sp obs.Span
+	if obs.Tracing() {
+		sp = obs.StartSpanUnder(parent, "conflict.tracker_update", obs.Int("fact", int(id)))
+	}
 	removed := int64(len(t.byFact[id]))
 	for k := range t.byFact[id] {
 		t.remove(k)
@@ -159,6 +177,9 @@ func (t *Tracker) Update(id store.FactID) {
 		}
 	}
 	flight.Record(flight.KindTrackerUpdate, int64(id), removed, added, 0)
+	if sp.Live() {
+		sp.End(obs.Int64("removed", removed), obs.Int64("added", added))
+	}
 }
 
 // scanPinned runs one pinned-seed homomorphism search and returns the

@@ -112,6 +112,14 @@ func (kb *KB) IsConsistent() (bool, error) {
 	return chase.IsConsistentOpt(kb.Facts, kb.TGDs, kb.CDDs, kb.ChaseOpts)
 }
 
+// IsConsistentUnder is IsConsistent with the check's chase span parented
+// under the given trace span id.
+func (kb *KB) IsConsistentUnder(parent uint64) (bool, error) {
+	opts := kb.ChaseOpts
+	opts.TraceParent = parent
+	return chase.IsConsistentOpt(kb.Facts, kb.TGDs, kb.CDDs, opts)
+}
+
 // IsConsistentNaive runs the unoptimized check: full chase, then evaluate
 // every CDD body.
 func (kb *KB) IsConsistentNaive() (bool, error) {
@@ -121,6 +129,15 @@ func (kb *KB) IsConsistentNaive() (bool, error) {
 // AllConflicts computes allconflicts(K) on the chased KB.
 func (kb *KB) AllConflicts() ([]*conflict.Conflict, *chase.Result, error) {
 	return conflict.All(kb.Facts, kb.TGDs, kb.CDDs, kb.ChaseOpts)
+}
+
+// AllConflictsUnder is AllConflicts with the scan's trace span parented
+// under the given trace span id — the causal hook the inquiry engine uses
+// to attribute detection time to the question that triggered it.
+func (kb *KB) AllConflictsUnder(parent uint64) ([]*conflict.Conflict, *chase.Result, error) {
+	opts := kb.ChaseOpts
+	opts.TraceParent = parent
+	return conflict.All(kb.Facts, kb.TGDs, kb.CDDs, opts)
 }
 
 // NaiveConflicts computes allconflicts_naive(K) on the base facts only.

@@ -121,11 +121,20 @@ type PiChecker struct {
 	// current batch (attr.None when unknown). Atomic because checkChunk
 	// reads it from worker goroutines.
 	cause atomic.Int32
+	// traceParent is the span id subsequent core.pi_batch spans are
+	// parented under (0 for roots). Atomic for the same reason as cause:
+	// set by the engine goroutine, consistent to read anywhere.
+	traceParent atomic.Uint64
 }
 
 // SetCause attributes subsequent Π-check work to the given ID — the inquiry
 // engine sets it to the causing conflict's CDD before each SOUNDQUESTION.
 func (pc *PiChecker) SetCause(id attr.ID) { pc.cause.Store(int32(id)) }
+
+// SetTraceParent parents subsequent Π-batch trace spans under the given
+// span id — the inquiry engine points it at the question-generation span
+// before each SOUNDQUESTION, mirroring SetCause.
+func (pc *PiChecker) SetTraceParent(id uint64) { pc.traceParent.Store(id) }
 
 // NewPiChecker builds a checker for the KB with the optimization enabled.
 func NewPiChecker(kb *KB) *PiChecker {
@@ -185,8 +194,21 @@ func (pc *PiChecker) CheckBatch(pi Pi, fixes []Fix) ([]bool, error) {
 	out := make([]bool, len(fixes))
 	var fastHits, accepted int64
 	var full []int
+	// One span covers the whole batch: the full checks run inside worker
+	// goroutines with their chases silenced (TraceQuiet), so Π time is
+	// attributed here, at batch granularity, deterministically.
+	var sp obs.Span
+	if obs.Tracing() {
+		sp = obs.StartSpanUnder(pc.traceParent.Load(), "core.pi_batch",
+			obs.Int("batch", len(fixes)))
+	}
 	defer func() {
 		flight.Record(flight.KindPiBatch, fastHits, int64(len(full)), accepted, 0)
+		if sp.Live() {
+			sp.End(obs.Int64("fast_hits", fastHits),
+				obs.Int("full_checks", len(full)),
+				obs.Int64("accepted", accepted))
+		}
 	}()
 	cause := attr.ID(pc.cause.Load())
 	for i, f := range fixes {
@@ -258,6 +280,12 @@ func (pc *PiChecker) runFullChecks(pi Pi, fixes []Fix, full []int, out []bool) e
 func (pc *PiChecker) checkChunk(pi Pi, fixes []Fix, idxs []int, out []bool) error {
 	nulled := nulledCopy(pc.kb.Facts, pi)
 	cause := attr.ID(pc.cause.Load())
+	// Chunks may run on worker goroutines: their chases stay out of the
+	// trace (interleaved spans from racing workers would make the trace
+	// depend on the worker count). CheckBatch's pi_batch span carries the
+	// batch's time instead.
+	opts := pc.kb.ChaseOpts
+	opts.TraceQuiet = true
 	for _, i := range idxs {
 		f := fixes[i]
 		// Algorithm 1 on (apply(F,{f}), Π ∪ {f.Pos}) is exactly the nulled
@@ -267,7 +295,7 @@ func (pc *PiChecker) checkChunk(pi Pi, fixes []Fix, idxs []int, out []bool) erro
 		// still realizes the hypothetical update.)
 		prev := nulled.MustSetValue(f.Pos, f.Value)
 		tm := obs.StartTimer()
-		ok, err := chase.IsConsistentOpt(nulled, pc.kb.TGDs, pc.kb.CDDs, pc.kb.ChaseOpts)
+		ok, err := chase.IsConsistentOpt(nulled, pc.kb.TGDs, pc.kb.CDDs, opts)
 		mPiCheckTime.Since(tm)
 		attrPiTime.Since(cause, tm)
 		nulled.MustSetValue(f.Pos, prev)

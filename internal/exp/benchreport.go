@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"kbrepair/internal/obs"
+	"kbrepair/internal/obs/traceview"
 	"kbrepair/internal/stats"
 )
 
@@ -55,6 +56,94 @@ type BenchReport struct {
 	// Profile is the plan-quality section (schema v2): per-body search
 	// costs from the attribution families, nil when attribution was off.
 	Profile *Profile `json:"profile,omitempty"`
+	// Trace is the question-latency decomposition of the benchmarked runs,
+	// built from the span stream (additive section: absent in older files
+	// and when no spans were collected).
+	Trace *TraceSummary `json:"trace,omitempty"`
+}
+
+// TraceComponent is one named slice of aggregate question latency: means
+// and maxima are per question, Share is the component's fraction of all
+// question time.
+type TraceComponent struct {
+	Name   string  `json:"name"`
+	MeanUS int64   `json:"mean_us"`
+	MaxUS  int64   `json:"max_us"`
+	Share  float64 `json:"share"`
+}
+
+// TraceSummary aggregates the per-question waterfalls of a benchmark run:
+// where question latency went, averaged over every question the span
+// stream retained. Components are sorted by share descending (ties by
+// name) and include the "(unattributed)" remainder, so shares sum to 1.
+type TraceSummary struct {
+	Questions     int              `json:"questions"`
+	MeanTotalUS   int64            `json:"mean_total_us"`
+	MaxTotalUS    int64            `json:"max_total_us"`
+	Components    []TraceComponent `json:"components,omitempty"`
+	SpansRetained int              `json:"spans_retained"`
+	RecordsTotal  uint64           `json:"records_total"`
+}
+
+// unattributedComponent names the waterfall remainder in summaries.
+const unattributedComponent = "(unattributed)"
+
+// BuildTraceSummary digests a span record stream (typically a ring kbbench
+// installed for the benchmarked runs) into the report's trace section. It
+// returns nil when the stream holds no question spans.
+func BuildTraceSummary(recs []obs.Record, total uint64) *TraceSummary {
+	f := traceview.ParseRecords(recs)
+	ws := f.Waterfalls()
+	if len(ws) == 0 {
+		return nil
+	}
+	s := &TraceSummary{
+		Questions:     len(ws),
+		SpansRetained: f.Spans(),
+		RecordsTotal:  total,
+	}
+	type agg struct {
+		sum, max int64
+	}
+	sums := make(map[string]*agg)
+	var grand int64
+	for _, w := range ws {
+		s.MeanTotalUS += w.TotalUS
+		if w.TotalUS > s.MaxTotalUS {
+			s.MaxTotalUS = w.TotalUS
+		}
+		grand += w.TotalUS
+		add := func(name string, dur int64) {
+			a := sums[name]
+			if a == nil {
+				a = &agg{}
+				sums[name] = a
+			}
+			a.sum += dur
+			if dur > a.max {
+				a.max = dur
+			}
+		}
+		for _, c := range w.Components {
+			add(c.Name, c.DurUS)
+		}
+		add(unattributedComponent, w.UnattributedUS)
+	}
+	s.MeanTotalUS /= int64(len(ws))
+	for name, a := range sums {
+		c := TraceComponent{Name: name, MeanUS: a.sum / int64(len(ws)), MaxUS: a.max}
+		if grand > 0 {
+			c.Share = float64(a.sum) / float64(grand)
+		}
+		s.Components = append(s.Components, c)
+	}
+	sort.Slice(s.Components, func(i, j int) bool {
+		if s.Components[i].Share != s.Components[j].Share {
+			return s.Components[i].Share > s.Components[j].Share
+		}
+		return s.Components[i].Name < s.Components[j].Name
+	})
+	return s
 }
 
 // NewBenchReport assembles a report from a metrics snapshot, stamping the

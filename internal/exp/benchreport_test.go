@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"kbrepair/internal/obs"
 )
@@ -139,5 +140,57 @@ func TestBenchReportJSONShape(t *testing.T) {
 		if _, ok := m[key]; !ok {
 			t.Errorf("report JSON missing %q:\n%s", key, buf.String())
 		}
+	}
+}
+
+// TestBuildTraceSummary checks the aggregate question decomposition: means
+// over all questions, shares (including the unattributed remainder) summing
+// to one, components sorted by share.
+func TestBuildTraceSummary(t *testing.T) {
+	ring := obs.NewRingSink(64)
+	tr := obs.NewTracer(ring)
+	clock := time.UnixMicro(1_700_000_000_000_000).UTC()
+	tr.SetNow(func() time.Time { clock = clock.Add(time.Millisecond); return clock })
+	root := tr.StartSpan("inquiry.run")
+	for i := 1; i <= 3; i++ {
+		q := root.Child("inquiry.question", obs.Int("q", i), obs.Int("phase", 1))
+		q.Child("inquiry.sound_question").End()
+		q.End()
+	}
+	root.End()
+
+	s := BuildTraceSummary(ring.Records(), ring.Total())
+	if s == nil || s.Questions != 3 {
+		t.Fatalf("summary = %+v, want 3 questions", s)
+	}
+	if s.RecordsTotal != ring.Total() || s.SpansRetained != 7 {
+		t.Errorf("counts = %d/%d, want %d/7", s.RecordsTotal, s.SpansRetained, ring.Total())
+	}
+	if s.MeanTotalUS <= 0 || s.MaxTotalUS < s.MeanTotalUS {
+		t.Errorf("totals = mean %d max %d", s.MeanTotalUS, s.MaxTotalUS)
+	}
+	var share float64
+	seen := make(map[string]bool)
+	for _, c := range s.Components {
+		share += c.Share
+		seen[c.Name] = true
+	}
+	if share < 0.999 || share > 1.001 {
+		t.Errorf("shares sum to %f, want 1", share)
+	}
+	if !seen["inquiry.sound_question"] || !seen["(unattributed)"] {
+		t.Errorf("components = %+v", s.Components)
+	}
+	for i := 1; i < len(s.Components); i++ {
+		if s.Components[i].Share > s.Components[i-1].Share {
+			t.Errorf("components not sorted by share: %+v", s.Components)
+		}
+	}
+}
+
+// TestBuildTraceSummaryEmpty: no question spans means no section at all.
+func TestBuildTraceSummaryEmpty(t *testing.T) {
+	if s := BuildTraceSummary(nil, 0); s != nil {
+		t.Fatalf("summary over empty stream = %+v, want nil", s)
 	}
 }

@@ -231,8 +231,17 @@ var ErrUnanswerable = errors.New("inquiry: no sound question for a live conflict
 // ask generates a sound question for the conflict (via the strategy),
 // presents it to the user, applies the chosen fix and updates Π. It returns
 // the offered positions and the round record.
-func (e *Engine) ask(cs []*conflict.Conflict, x *conflict.Conflict, phase int) ([]core.Position, Round, error) {
-	t0 := time.Now()
+//
+// qsp is this question's trace span (inert when tracing is off); ask hangs
+// its phases under it — inquiry.sound_question for strategy position
+// selection plus SOUNDQUESTION (whose Π-batches parent themselves under it
+// via the checker's trace parent), inquiry.user_answer for the time the
+// user holds the question. The caller ends qsp after the post-answer
+// conflict maintenance, so the span's full duration also covers tracker
+// updates / re-scans, and the waterfall's unattributed remainder is
+// genuine engine overhead.
+func (e *Engine) ask(cs []*conflict.Conflict, x *conflict.Conflict, phase int, qsp obs.Span) ([]core.Position, Round, error) {
+	t0 := obs.Now()
 	// Attribute the Π-checks this question will run — and the question
 	// itself — to the CDD whose conflict is being resolved.
 	qid := attr.None
@@ -240,9 +249,12 @@ func (e *Engine) ask(cs []*conflict.Conflict, x *conflict.Conflict, phase int) (
 		qid = conflict.AttrID(x.CDD)
 		e.pc.SetCause(qid)
 	}
+	ssp := qsp.Child("inquiry.sound_question")
+	e.pc.SetTraceParent(ssp.ID())
 	positions := e.Strategy.Positions(e, cs, x)
 	fixes, err := SoundQuestion(e.KB, e.pc, e.Pi, positions, e.Opts.MaxValuesPerPosition)
 	if err != nil {
+		ssp.End()
 		return nil, Round{}, err
 	}
 	if len(fixes) == 0 {
@@ -252,15 +264,22 @@ func (e *Engine) ask(cs []*conflict.Conflict, x *conflict.Conflict, phase int) (
 			positions = x.Positions(e.KB.Facts)
 			fixes, err = SoundQuestion(e.KB, e.pc, e.Pi, positions, e.Opts.MaxValuesPerPosition)
 			if err != nil {
+				ssp.End()
 				return nil, Round{}, err
 			}
 		}
 	}
 	if len(fixes) == 0 {
+		ssp.End()
 		return nil, Round{}, fmt.Errorf("%w: conflict %s", ErrUnanswerable, x)
 	}
+	if ssp.Live() {
+		ssp.End(obs.Int("positions", len(positions)), obs.Int("fixes", len(fixes)))
+	}
 	q := Question{Conflict: x, Fixes: fixes, Phase: phase}
-	delay := time.Since(t0)
+	// Measured on the tracer clock: the value lands in the question span's
+	// delay_us attribute, which must be deterministic under an injected clock.
+	delay := obs.Now().Sub(t0)
 	mQuestions.Inc()
 	gAsked.Add(1)
 	hDelay.Observe(delay.Seconds())
@@ -271,19 +290,15 @@ func (e *Engine) ask(cs []*conflict.Conflict, x *conflict.Conflict, phase int) (
 	} else {
 		mPhase2.Inc()
 	}
-	if obs.Tracing() {
-		obs.Emit("inquiry.question",
-			obs.Int("phase", phase),
-			obs.Int("fixes", len(fixes)),
-			obs.Int("conflicts", len(cs)),
-			obs.Int64("delay_us", delay.Microseconds()))
-	}
 	flight.Record(flight.KindQuestion, int64(phase), int64(len(fixes)), int64(len(cs)), delay.Microseconds())
 	flight.ObserveQuestion(phase, len(cs), delay)
+	usp := qsp.Child("inquiry.user_answer")
 	f, err := e.User.Choose(e.KB, q)
 	if err != nil {
+		usp.End()
 		return nil, Round{}, fmt.Errorf("user failed on question with %d fixes: %w", len(fixes), err)
 	}
+	usp.End()
 	if !q.Contains(f) {
 		return nil, Round{}, fmt.Errorf("user chose %s, which is not in the question", f)
 	}
@@ -300,6 +315,21 @@ func (e *Engine) ask(cs []*conflict.Conflict, x *conflict.Conflict, phase int) (
 		SeriesConflicts: -1,
 		Delay:           delay,
 	}, nil
+}
+
+// endQuestion closes a question span with the round's summary attributes.
+// The components hung under the span plus its unattributed remainder sum
+// to its duration by construction (children are closed before the parent,
+// all on this goroutine).
+func endQuestion(qsp obs.Span, qIdx int, rd Round) {
+	if !qsp.Live() {
+		return
+	}
+	qsp.End(obs.Int("q", qIdx),
+		obs.Int("phase", rd.Phase),
+		obs.Int("conflicts", rd.ConflictsBefore),
+		obs.Int("fixes", rd.QuestionSize),
+		obs.Int64("delay_us", rd.Delay.Microseconds()))
 }
 
 // recordAnswer flight-records a chosen fix. The value is only stringified
@@ -337,18 +367,40 @@ func (e *Engine) Run() (*Result, error) {
 	start := time.Now()
 	res := &Result{Strategy: e.Strategy.Name(), InitialTotal: -1}
 
-	tracker := conflict.NewTracker(e.KB.Facts, e.KB.CDDs)
+	// One root span per run; everything the run does hangs under it. Ended
+	// exactly once — eagerly with summary attributes on success, by the
+	// deferred call on error paths.
+	var rootSp obs.Span
+	if obs.Tracing() {
+		rootSp = obs.StartSpan("inquiry.run",
+			obs.Str("strategy", res.Strategy), obs.Int("facts", e.KB.Facts.Len()))
+	}
+	rootDone := false
+	endRoot := func(extra ...obs.Attr) {
+		if !rootDone {
+			rootDone = true
+			rootSp.End(extra...)
+		}
+	}
+	defer endRoot()
+
+	initSp := rootSp.Child("inquiry.init")
+	tracker := conflict.NewTrackerUnder(initSp.ID(), e.KB.Facts, e.KB.CDDs)
 	res.InitialNaive = tracker.Len()
-	if initial, _, err := e.KB.AllConflicts(); err == nil {
+	if initial, _, err := e.KB.AllConflictsUnder(initSp.ID()); err == nil {
 		res.InitialTotal = len(initial)
 	} else {
+		initSp.End()
 		return nil, err
+	}
+	if initSp.Live() {
+		initSp.End(obs.Int("naive", res.InitialNaive), obs.Int("total", res.InitialTotal))
 	}
 	sessionStart(res.Strategy, e.KB.Facts.Len(), res.InitialNaive, res.InitialTotal)
 
-	record := func(rd Round, f core.Fix) error {
+	record := func(rd Round, f core.Fix, parent uint64) error {
 		if e.Opts.TrackConflictSeries {
-			cs, _, err := e.KB.AllConflicts()
+			cs, _, err := e.KB.AllConflictsUnder(parent)
 			if err != nil {
 				return err
 			}
@@ -366,59 +418,80 @@ func (e *Engine) Run() (*Result, error) {
 	for tracker.Len() > 0 {
 		cs := tracker.Conflicts()
 		statusRound(1, len(cs), len(res.Rounds))
+		qsp := rootSp.Child("inquiry.question")
+		psp := qsp.Child("inquiry.pick_conflict")
 		x := e.Strategy.PickConflict(e, cs)
-		offered, rd, err := e.ask(cs, x, 1)
+		psp.End()
+		offered, rd, err := e.ask(cs, x, 1, qsp)
 		if err != nil {
+			qsp.End()
 			return res, err
 		}
 		if e.Opts.DisableIncremental {
-			tracker = conflict.NewTracker(e.KB.Facts, e.KB.CDDs)
+			tracker = conflict.NewTrackerUnder(qsp.ID(), e.KB.Facts, e.KB.CDDs)
 		} else {
-			tracker.Update(rd.Answer.Pos.Fact)
+			tracker.UpdateUnder(qsp.ID(), rd.Answer.Pos.Fact)
 		}
 		e.Strategy.AfterAnswer(e, tracker.Conflicts(), x, offered, rd.Answer)
-		if err := record(rd, rd.Answer); err != nil {
+		if err := record(rd, rd.Answer, qsp.ID()); err != nil {
+			qsp.End()
 			return res, err
 		}
+		endQuestion(qsp, len(res.Rounds), rd)
 	}
 
 	// Phase two: conflicts that only appear through the chase. Without
 	// TGDs the naive conflicts were all conflicts and this loop exits
-	// immediately after one (cheap) check.
-	for {
-		cs, _, err := e.KB.AllConflicts()
-		if err != nil {
-			return res, err
-		}
-		if len(cs) == 0 {
-			break
-		}
+	// immediately after one (cheap) check. The post-answer re-scan (needed
+	// anyway for AfterAnswer's "involved in other conflicts" test) doubles
+	// as the next iteration's conflict set: nothing mutates the KB between
+	// the end of one iteration and the top of the next, so reusing it both
+	// saves a full chase+scan per question and attributes every scan to the
+	// question that made it necessary.
+	cs, _, err := e.KB.AllConflictsUnder(rootSp.ID())
+	if err != nil {
+		return res, err
+	}
+	for len(cs) > 0 {
 		statusRound(2, len(cs), len(res.Rounds))
+		qsp := rootSp.Child("inquiry.question")
+		psp := qsp.Child("inquiry.pick_conflict")
 		x := e.Strategy.PickConflict(e, cs)
-		offered, rd, err := e.ask(cs, x, 2)
+		psp.End()
+		offered, rd, err := e.ask(cs, x, 2, qsp)
 		if err != nil {
+			qsp.End()
 			return res, err
 		}
-		// Recompute for AfterAnswer's "involved in other conflicts" test.
-		after, _, err := e.KB.AllConflicts()
+		after, _, err := e.KB.AllConflictsUnder(qsp.ID())
 		if err != nil {
+			qsp.End()
 			return res, err
 		}
 		e.Strategy.AfterAnswer(e, after, x, offered, rd.Answer)
-		if err := record(rd, rd.Answer); err != nil {
+		if err := record(rd, rd.Answer, qsp.ID()); err != nil {
+			qsp.End()
 			return res, err
 		}
+		endQuestion(qsp, len(res.Rounds), rd)
+		cs = after
 	}
 
-	ok, err := e.KB.IsConsistent()
+	fsp := rootSp.Child("inquiry.final_check")
+	ok, err := e.KB.IsConsistentUnder(fsp.ID())
 	if err != nil {
+		fsp.End()
 		return res, err
+	}
+	if fsp.Live() {
+		fsp.End(obs.Bool("consistent", ok))
 	}
 	statusEnd(0)
 	res.Consistent = ok
 	res.Questions = len(res.Rounds)
 	res.Duration = time.Since(start)
 	res.FastHits, res.FullChecks = e.pc.FastHits, e.pc.FullChecks
+	endRoot(obs.Int("questions", res.Questions), obs.Bool("consistent", ok))
 	return res, nil
 }
 
@@ -436,39 +509,72 @@ func (e *Engine) RunBasic() (*Result, error) {
 	statusBegin()
 	start := time.Now()
 	res := &Result{Strategy: "basic"}
-	res.InitialNaive = len(conflict.AllNaive(e.KB.Facts, e.KB.CDDs))
-	if initial, _, err := e.KB.AllConflicts(); err == nil {
+
+	var rootSp obs.Span
+	if obs.Tracing() {
+		rootSp = obs.StartSpan("inquiry.run",
+			obs.Str("strategy", res.Strategy), obs.Int("facts", e.KB.Facts.Len()))
+	}
+	rootDone := false
+	endRoot := func(extra ...obs.Attr) {
+		if !rootDone {
+			rootDone = true
+			rootSp.End(extra...)
+		}
+	}
+	defer endRoot()
+
+	initSp := rootSp.Child("inquiry.init")
+	res.InitialNaive = len(conflict.AllNaiveUnder(initSp.ID(), e.KB.Facts, e.KB.CDDs))
+	if initial, _, err := e.KB.AllConflictsUnder(initSp.ID()); err == nil {
 		res.InitialTotal = len(initial)
 	} else {
+		initSp.End()
 		return nil, err
 	}
+	if initSp.Live() {
+		initSp.End(obs.Int("naive", res.InitialNaive), obs.Int("total", res.InitialTotal))
+	}
 	sessionStart(res.Strategy, e.KB.Facts.Len(), res.InitialNaive, res.InitialTotal)
-	for {
-		cs, _, err := e.KB.AllConflicts()
-		if err != nil {
-			return res, err
-		}
-		if len(cs) == 0 {
-			break
-		}
+
+	// As in Run's phase two, each iteration ends with the re-scan the next
+	// iteration needs, attributed to the question just answered; only the
+	// first scan hangs directly under the root.
+	cs, _, err := e.KB.AllConflictsUnder(rootSp.ID())
+	if err != nil {
+		return res, err
+	}
+	for len(cs) > 0 {
 		statusRound(1, len(cs), len(res.Rounds))
-		t0 := time.Now()
+		qsp := rootSp.Child("inquiry.question")
+		t0 := obs.Now()
+		psp := qsp.Child("inquiry.pick_conflict")
 		x := pickRandom(cs, e.Rng)
+		psp.End()
 		qid := attr.None
 		if attr.Enabled() {
 			qid = conflict.AttrID(x.CDD)
 			e.pc.SetCause(qid)
 		}
+		ssp := qsp.Child("inquiry.sound_question")
+		e.pc.SetTraceParent(ssp.ID())
 		positions := x.Positions(e.KB.Facts)
 		fixes, err := SoundQuestion(e.KB, e.pc, e.Pi, positions, e.Opts.MaxValuesPerPosition)
 		if err != nil {
+			ssp.End()
+			qsp.End()
 			return res, err
 		}
 		if len(fixes) == 0 {
+			ssp.End()
+			qsp.End()
 			return res, fmt.Errorf("%w: conflict %s", ErrUnanswerable, x)
 		}
+		if ssp.Live() {
+			ssp.End(obs.Int("positions", len(positions)), obs.Int("fixes", len(fixes)))
+		}
 		q := Question{Conflict: x, Fixes: fixes, Phase: 1}
-		delay := time.Since(t0)
+		delay := obs.Now().Sub(t0)
 		mQuestions.Inc()
 		gAsked.Add(1)
 		mPhase1.Inc()
@@ -477,39 +583,60 @@ func (e *Engine) RunBasic() (*Result, error) {
 		attrQDelay.Observe(qid, delay.Seconds())
 		flight.Record(flight.KindQuestion, 1, int64(len(fixes)), int64(len(cs)), delay.Microseconds())
 		flight.ObserveQuestion(1, len(cs), delay)
+		usp := qsp.Child("inquiry.user_answer")
 		f, err := e.User.Choose(e.KB, q)
 		if err != nil {
+			usp.End()
+			qsp.End()
 			return res, err
 		}
+		usp.End()
 		if !q.Contains(f) {
+			qsp.End()
 			return res, fmt.Errorf("user chose %s, which is not in the question", f)
 		}
 		if _, err := e.KB.Facts.SetValue(f.Pos, f.Value); err != nil {
+			qsp.End()
 			return res, err
 		}
 		e.Pi.Add(f.Pos)
 		recordAnswer(f)
-		res.Rounds = append(res.Rounds, Round{
+		rd := Round{
 			Phase:           1,
 			QuestionSize:    len(fixes),
 			Answer:          f,
 			ConflictsBefore: len(cs),
 			SeriesConflicts: -1,
 			Delay:           delay,
-		})
+		}
+		res.Rounds = append(res.Rounds, rd)
 		res.AppliedFixes = append(res.AppliedFixes, f)
 		if len(res.Rounds) > e.maxQuestions() {
+			qsp.End()
 			return res, fmt.Errorf("inquiry: exceeded %d questions", e.maxQuestions())
 		}
+		after, _, err := e.KB.AllConflictsUnder(qsp.ID())
+		if err != nil {
+			qsp.End()
+			return res, err
+		}
+		endQuestion(qsp, len(res.Rounds), rd)
+		cs = after
 	}
-	ok, err := e.KB.IsConsistent()
+	fsp := rootSp.Child("inquiry.final_check")
+	ok, err := e.KB.IsConsistentUnder(fsp.ID())
 	if err != nil {
+		fsp.End()
 		return res, err
+	}
+	if fsp.Live() {
+		fsp.End(obs.Bool("consistent", ok))
 	}
 	statusEnd(0)
 	res.Consistent = ok
 	res.Questions = len(res.Rounds)
 	res.Duration = time.Since(start)
 	res.FastHits, res.FullChecks = e.pc.FastHits, e.pc.FullChecks
+	endRoot(obs.Int("questions", res.Questions), obs.Bool("consistent", ok))
 	return res, nil
 }

@@ -18,6 +18,7 @@ import (
 
 	"kbrepair/internal/obs"
 	"kbrepair/internal/obs/attr"
+	"kbrepair/internal/obs/traceview"
 )
 
 // BundleSchemaVersion identifies the debug-bundle layout; bump on breaking
@@ -86,6 +87,10 @@ type Bundle struct {
 	// attribution was enabled at capture time (additive section, so the
 	// schema version is unchanged).
 	Attr *attr.Snapshot `json:"attr,omitempty"`
+	// Trace is the question-latency digest of the process-wide trace ring:
+	// the slowest recent questions with their waterfall decompositions.
+	// Present only when tracing was on at capture time (additive section).
+	Trace *traceview.Digest `json:"trace,omitempty"`
 }
 
 // providers supply the KB-shaped sections the flight package cannot compute
@@ -165,6 +170,7 @@ func Capture(reason string) *Bundle {
 		KBDigest:   marshalSection(digFn),
 		Journal:    marshalSection(jrnFn),
 		Attr:       attr.Capture(),
+		Trace:      captureTrace(),
 	}
 	if r := Current(); r != nil {
 		events := r.Events()
@@ -190,7 +196,25 @@ func (b *Bundle) sections() []string {
 	if b.Attr != nil {
 		s = append(s, "attr.json")
 	}
+	if b.Trace != nil {
+		s = append(s, "trace.json")
+	}
 	return s
+}
+
+// BundleTraceQuestions is how many slowest question waterfalls a bundle's
+// trace section retains.
+const BundleTraceQuestions = 10
+
+// captureTrace digests the process-wide trace ring, or returns nil when no
+// ring is installed (tracing off). The ring is internally synchronized, so
+// this is safe from the signal-handler goroutine like the other sections.
+func captureTrace() *traceview.Digest {
+	ring := obs.TraceRing()
+	if ring == nil {
+		return nil
+	}
+	return traceview.BuildDigest(ring.Records(), ring.Total(), BundleTraceQuestions)
 }
 
 // allStacks returns the stacks of every goroutine, growing the buffer until
@@ -259,6 +283,13 @@ func (b *Bundle) WriteDir(dir string) error {
 			return fmt.Errorf("debug bundle: %w", err)
 		}
 		files["attr.json"] = append(attrData, '\n')
+	}
+	if b.Trace != nil {
+		traceData, err := json.MarshalIndent(b.Trace, "", "  ")
+		if err != nil {
+			return fmt.Errorf("debug bundle: %w", err)
+		}
+		files["trace.json"] = append(traceData, '\n')
 	}
 	for name, data := range files {
 		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
@@ -335,6 +366,13 @@ func ReadBundle(path string) (*Bundle, error) {
 			return nil, fmt.Errorf("debug bundle %s: attr: %w", path, err)
 		}
 		b.Attr = &s
+	}
+	if data, err := os.ReadFile(filepath.Join(path, "trace.json")); err == nil {
+		var d traceview.Digest
+		if err := json.Unmarshal(data, &d); err != nil {
+			return nil, fmt.Errorf("debug bundle %s: trace: %w", path, err)
+		}
+		b.Trace = &d
 	}
 	return &b, nil
 }

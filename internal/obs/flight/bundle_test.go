@@ -247,6 +247,67 @@ func TestBundleAttrSectionRoundtrip(t *testing.T) {
 	}
 }
 
+func TestBundleTraceSectionRoundtrip(t *testing.T) {
+	resetGlobal(t)
+	clearProviders(t)
+	Enable(32)
+	ring := obs.NewRingSink(64)
+	tr := obs.NewTracer(ring)
+	root := tr.StartSpan("inquiry.run")
+	q := root.Child("inquiry.question", obs.Int("q", 1), obs.Int("phase", 2))
+	q.Child("inquiry.sound_question").End()
+	q.End()
+	root.End()
+	obs.SetTraceRing(ring)
+	t.Cleanup(func() { obs.SetTraceRing(nil) })
+
+	b := Capture("trace-roundtrip")
+	if b.Trace == nil || b.Trace.Questions != 1 {
+		t.Fatalf("trace digest = %+v, want 1 question", b.Trace)
+	}
+	found := false
+	for _, s := range b.Sections {
+		if s == "trace.json" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("manifest sections missing trace.json: %v", b.Sections)
+	}
+
+	dir := filepath.Join(t.TempDir(), "bundle")
+	if err := b.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBundle(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace == nil || len(got.Trace.Slowest) != 1 {
+		t.Fatalf("trace section lost in dir roundtrip: %+v", got.Trace)
+	}
+	w := got.Trace.Slowest[0]
+	if w.Q != 1 || w.Phase != 2 || len(w.Components) != 1 {
+		t.Errorf("waterfall did not roundtrip: %+v", w)
+	}
+}
+
+func TestCaptureOmitsTraceWhenNoRing(t *testing.T) {
+	resetGlobal(t)
+	clearProviders(t)
+	Enable(32)
+	obs.SetTraceRing(nil)
+	b := Capture("no-trace")
+	if b.Trace != nil {
+		t.Fatal("trace section present without a trace ring")
+	}
+	for _, s := range b.Sections {
+		if s == "trace.json" {
+			t.Fatal("manifest lists trace.json without a trace ring")
+		}
+	}
+}
+
 func TestCaptureOmitsAttrWhenDisabled(t *testing.T) {
 	resetGlobal(t)
 	clearProviders(t)

@@ -83,10 +83,22 @@ func DefaultTracer() *Tracer { return defaultTracer }
 // tracer would discard it.
 func Tracing() bool { return defaultTracer.Active() }
 
-// StartSpan opens a span on the default tracer.
+// StartSpan opens a root span on the default tracer.
 func StartSpan(name string, attrs ...Attr) Span {
 	return defaultTracer.StartSpan(name, attrs...)
 }
+
+// StartSpanUnder opens a span on the default tracer with an explicit parent
+// span id (0 for a root) — for call sites that receive causality as a plain
+// id across a package boundary rather than as a Span value.
+func StartSpanUnder(parent uint64, name string, attrs ...Attr) Span {
+	return defaultTracer.StartSpanUnder(parent, name, attrs...)
+}
+
+// Now reads the default tracer's clock — time.Now in production, the
+// injected clock in deterministic-trace tests. Durations that become span
+// attributes (the engine's question delay) must be measured with it.
+func Now() time.Time { return defaultTracer.Now() }
 
 // Emit records a point event on the default tracer.
 func Emit(name string, attrs ...Attr) { defaultTracer.Event(name, attrs...) }
@@ -94,3 +106,16 @@ func Emit(name string, attrs ...Attr) { defaultTracer.Event(name, attrs...) }
 // SetTraceSink installs a sink on the default tracer (nil restores the
 // no-op sink).
 func SetTraceSink(s Sink) { defaultTracer.SetSink(s) }
+
+// AddTraceSink tees s onto whatever sink the default tracer already has,
+// or installs it alone if tracing was off — how kbbench collects a full
+// span stream for its report without requiring -trace. Not safe against
+// concurrent SetTraceSink calls; CLIs call both during single-threaded
+// setup.
+func AddTraceSink(s Sink) {
+	if box := defaultTracer.sink.Load(); box != nil {
+		defaultTracer.SetSink(MultiSink(box.s, s))
+		return
+	}
+	defaultTracer.SetSink(s)
+}

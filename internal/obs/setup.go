@@ -15,6 +15,11 @@ const DefaultSampleEvery = 250 * time.Millisecond
 // past any plausible retention need — a bigger value is a typo.
 const MaxFlightEvents = 1 << 24
 
+// TraceRingCapacity is the size of the in-memory trace ring SetupCLI tees
+// the -trace stream into for /tracez and debug bundles. 4096 records cover
+// hundreds of recent questions at the pipeline's span granularity.
+const TraceRingCapacity = 4096
+
 // CLIConfig is the observability surface the CLIs expose as flags.
 type CLIConfig struct {
 	// MetricsPath, when non-empty, enables latency timing and writes a
@@ -144,7 +149,11 @@ func SetupCLI(c CLIConfig) (flush func() error, err error) {
 			return fail(fmt.Errorf("trace output: %w", err))
 		}
 		traceSink = NewJSONLSink(traceFile)
-		SetTraceSink(traceSink)
+		// Tee the trace into a bounded in-memory ring so /tracez and
+		// debug-bundle captures can show the most recent spans live.
+		ring := NewRingSink(TraceRingCapacity)
+		SetTraceRing(ring)
+		SetTraceSink(MultiSink(traceSink, ring))
 	}
 	if c.TimeseriesPath != "" {
 		seriesFile, err = os.Create(c.TimeseriesPath)
@@ -179,7 +188,10 @@ func SetupCLI(c CLIConfig) (flush func() error, err error) {
 		}
 		if traceSink != nil {
 			SetTraceSink(nil)
-			keep(traceSink.Err())
+			SetTraceRing(nil)
+			if err := traceSink.Flush(); err != nil {
+				keep(fmt.Errorf("trace output: %w", err))
+			}
 			if err := traceFile.Close(); err != nil {
 				keep(fmt.Errorf("trace output: %w", err))
 			}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
 	"io"
 	"sync"
@@ -34,10 +35,17 @@ func Bool(k string, v bool) Attr { return Attr{Key: k, Val: v} }
 // at End, with a duration) or a point event. Times are microseconds since
 // the Unix epoch; attribute maps serialize with sorted keys, so a JSONL
 // trace is deterministic given a deterministic clock.
+//
+// Parent is the span id of the causal parent (0 for roots and events): the
+// span that was in progress, one level up, when this one started. A trace
+// with parents is a forest, and a reader (internal/obs/traceview) can
+// reconstruct per-request waterfalls from it. The field is omitted when
+// zero, so traces written by older builds parse identically.
 type Record struct {
 	Type    string         `json:"type"` // "span" | "event"
 	Name    string         `json:"name"`
-	Span    uint64         `json:"span,omitempty"` // span id; 0 for events
+	Span    uint64         `json:"span,omitempty"`   // span id; 0 for events
+	Parent  uint64         `json:"parent,omitempty"` // parent span id; 0 for roots
 	StartUS int64          `json:"start_us"`
 	DurUS   int64          `json:"dur_us,omitempty"`
 	Attrs   map[string]any `json:"attrs,omitempty"`
@@ -51,20 +59,22 @@ type Sink interface {
 
 // Tracer produces spans and events into a sink. A nil sink means tracing
 // is off: StartSpan returns the inert zero Span and Event returns
-// immediately. The clock is injectable for deterministic tests.
+// immediately. The clock is injectable for deterministic tests; it is held
+// behind an atomic pointer so hot traced paths never contend on a lock.
 type Tracer struct {
-	sink atomic.Pointer[sinkBox]
-	seq  atomic.Uint64
-
-	mu  sync.Mutex
-	now func() time.Time
+	sink  atomic.Pointer[sinkBox]
+	seq   atomic.Uint64
+	clock atomic.Pointer[clockBox]
 }
 
 type sinkBox struct{ s Sink }
 
+type clockBox struct{ now func() time.Time }
+
 // NewTracer returns a tracer writing to sink (nil for off).
 func NewTracer(sink Sink) *Tracer {
-	t := &Tracer{now: time.Now}
+	t := &Tracer{}
+	t.clock.Store(&clockBox{now: time.Now})
 	t.SetSink(sink)
 	return t
 }
@@ -80,49 +90,84 @@ func (t *Tracer) SetSink(s Sink) {
 
 // SetNow injects a clock (tests); nil restores time.Now.
 func (t *Tracer) SetNow(now func() time.Time) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	if now == nil {
 		now = time.Now
 	}
-	t.now = now
+	t.clock.Store(&clockBox{now: now})
 }
 
-func (t *Tracer) clock() func() time.Time {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.now
+func (t *Tracer) now() time.Time {
+	return t.clock.Load().now()
 }
+
+// Now reads the tracer's clock — time.Now unless a test injected one via
+// SetNow. Pipeline code measuring durations that end up as span attributes
+// (the engine's question delay) must read this clock, not time.Now, so an
+// injected clock makes the whole trace byte-deterministic.
+func (t *Tracer) Now() time.Time { return t.now() }
 
 // Active reports whether a sink is installed.
 func (t *Tracer) Active() bool { return t.sink.Load() != nil }
 
+// ResetSeq restarts span-id allocation at 1 — only for tests that compare
+// whole traces byte-for-byte across repeated runs on the same tracer.
+func (t *Tracer) ResetSeq() { t.seq.Store(0) }
+
 // Span is an in-progress operation. The zero Span (from a tracer with no
 // sink) is inert; End on it is a no-op.
 type Span struct {
-	tr    *Tracer
-	name  string
-	id    uint64
-	start time.Time
-	attrs []Attr
+	tr     *Tracer
+	name   string
+	id     uint64
+	parent uint64
+	start  time.Time
+	attrs  []Attr
 }
 
-// StartSpan opens a span. The record is written when End is called, so a
-// sink sees spans in completion order. Callers on hot paths should guard
+// StartSpan opens a root span. The record is written when End is called, so
+// a sink sees spans in completion order. Callers on hot paths should guard
 // attribute-passing calls behind Tracer.Active (or obs.Tracing) — the
 // variadic slice is built before the call regardless of the sink.
 func (t *Tracer) StartSpan(name string, attrs ...Attr) Span {
+	return t.StartSpanUnder(0, name, attrs...)
+}
+
+// StartSpanUnder opens a span with an explicit parent span id — the way to
+// thread causality across a package boundary where only the id (not the
+// Span value) travels. Parent 0 makes a root. The disabled path is one
+// atomic load and allocation-free.
+func (t *Tracer) StartSpanUnder(parent uint64, name string, attrs ...Attr) Span {
 	if t.sink.Load() == nil {
 		return Span{}
 	}
 	return Span{
-		tr:    t,
-		name:  name,
-		id:    t.seq.Add(1),
-		start: t.clock()(),
-		attrs: attrs,
+		tr:     t,
+		name:   name,
+		id:     t.seq.Add(1),
+		parent: parent,
+		start:  t.now(),
+		attrs:  attrs,
 	}
 }
+
+// Child opens a span whose parent is s. On an inert span it returns the
+// inert zero Span without touching the tracer, so a disabled call tree
+// stays allocation-free all the way down.
+func (s Span) Child(name string, attrs ...Attr) Span {
+	if s.tr == nil {
+		return Span{}
+	}
+	return s.tr.StartSpanUnder(s.id, name, attrs...)
+}
+
+// ID returns the span id (0 for an inert span) — what callees use as the
+// parent of spans they open on this span's behalf.
+func (s Span) ID() uint64 { return s.id }
+
+// Live reports whether the span will write a record at End. Guard
+// attribute-building End calls with it, mirroring the obs.Tracing
+// convention for StartSpan.
+func (s Span) Live() bool { return s.tr != nil }
 
 // End closes the span, appending any extra attributes, and writes its
 // record.
@@ -134,11 +179,12 @@ func (s Span) End(extra ...Attr) {
 	if box == nil {
 		return
 	}
-	end := s.tr.clock()()
+	end := s.tr.now()
 	box.s.Write(Record{
 		Type:    "span",
 		Name:    s.name,
 		Span:    s.id,
+		Parent:  s.parent,
 		StartUS: s.start.UnixMicro(),
 		DurUS:   end.Sub(s.start).Microseconds(),
 		Attrs:   attrMap(s.attrs, extra),
@@ -154,7 +200,7 @@ func (t *Tracer) Event(name string, attrs ...Attr) {
 	box.s.Write(Record{
 		Type:    "event",
 		Name:    name,
-		StartUS: t.clock()().UnixMicro(),
+		StartUS: t.now().UnixMicro(),
 		Attrs:   attrMap(attrs, nil),
 	})
 }
@@ -174,17 +220,23 @@ func attrMap(a, b []Attr) map[string]any {
 }
 
 // JSONLSink writes one JSON object per record to an io.Writer (the -trace
-// file format). Writes are serialized; the first write error is retained
-// and reported by Err, after which further records are dropped.
+// file format). Records are buffered (a busy trace writes thousands of
+// sub-100-byte lines; one syscall each would dominate the sink), so owners
+// must call Flush before reading or closing the underlying writer — the
+// CLIs do so through obs.SetupCLI's flush function. Writes are serialized;
+// the first write error is retained and reported by Err, after which
+// further records are dropped.
 type JSONLSink struct {
 	mu  sync.Mutex
+	buf *bufio.Writer
 	enc *json.Encoder
 	err error
 }
 
-// NewJSONLSink returns a sink encoding records onto w.
+// NewJSONLSink returns a sink encoding records onto w through a buffer.
 func NewJSONLSink(w io.Writer) *JSONLSink {
-	return &JSONLSink{enc: json.NewEncoder(w)}
+	buf := bufio.NewWriterSize(w, 64<<10)
+	return &JSONLSink{buf: buf, enc: json.NewEncoder(buf)}
 }
 
 // Write encodes the record as one JSON line.
@@ -197,11 +249,35 @@ func (s *JSONLSink) Write(r Record) {
 	s.err = s.enc.Encode(r)
 }
 
+// Flush forces buffered records onto the underlying writer and returns the
+// first error the sink has seen (encoding, buffered writes, or the flush
+// itself). Call it before closing the file the sink writes to.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.buf.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
 // Err returns the first write error, if any.
 func (s *JSONLSink) Err() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.err
+}
+
+// MultiSink fans every record out to each sink in order — how the live
+// /tracez ring rides along with a -trace file.
+func MultiSink(sinks ...Sink) Sink { return multiSink(sinks) }
+
+type multiSink []Sink
+
+func (m multiSink) Write(r Record) {
+	for _, s := range m {
+		s.Write(r)
+	}
 }
 
 // RingSink keeps the last N records in memory — the test sink, and a cheap
@@ -249,4 +325,23 @@ func (s *RingSink) Total() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.total
+}
+
+// traceRing is the process-wide ring of recent trace records backing the
+// /tracez handler and the debug-bundle trace section. SetupCLI installs it
+// whenever any observability output is on.
+var traceRing atomic.Pointer[RingSink]
+
+// TraceRing returns the live trace ring, or nil when none is installed.
+func TraceRing() *RingSink { return traceRing.Load() }
+
+// SetTraceRing installs (or, with nil, removes) the process-wide trace
+// ring. The ring must also be wired into the tracer's sink — SetupCLI does
+// both; tests installing a ring directly must too.
+func SetTraceRing(r *RingSink) {
+	if r == nil {
+		traceRing.Store(nil)
+		return
+	}
+	traceRing.Store(r)
 }

@@ -1,0 +1,171 @@
+// Package traceview turns the flat JSONL span stream written by
+// internal/obs into causal structure: a span forest, per-question latency
+// waterfalls, self/total-time aggregation, critical paths, and Chrome
+// trace_event export. It is the analysis layer behind cmd/kbtrace, the
+// /tracez debug handler, the kbbench report's trace section, and the trace
+// section of debug bundles.
+package traceview
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"kbrepair/internal/obs"
+)
+
+// Span is one completed span with its children attached. Children are the
+// spans whose parent id is this span's id, ordered by start time (ties by
+// id), which on the engine's single emitting goroutine is execution order.
+type Span struct {
+	ID      uint64         `json:"span"`
+	Parent  uint64         `json:"parent,omitempty"`
+	Name    string         `json:"name"`
+	StartUS int64          `json:"start_us"`
+	DurUS   int64          `json:"dur_us"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+	Child   []*Span        `json:"children,omitempty"`
+}
+
+// EndUS returns the span's end timestamp.
+func (s *Span) EndUS() int64 { return s.StartUS + s.DurUS }
+
+// SelfUS returns the span's self time: its duration minus the duration of
+// its direct children. Spans are emitted from a single goroutine per run,
+// so children never overlap and self time is well defined (it can still go
+// negative on a malformed trace; callers render it as-is).
+func (s *Span) SelfUS() int64 {
+	self := s.DurUS
+	for _, c := range s.Child {
+		self -= c.DurUS
+	}
+	return self
+}
+
+// AttrInt reads an integer attribute. Values arrive as int64 from the live
+// ring sink but as float64 after a JSON round trip, so both are accepted.
+func (s *Span) AttrInt(key string) (int64, bool) {
+	return attrInt(s.Attrs, key)
+}
+
+func attrInt(attrs map[string]any, key string) (int64, bool) {
+	switch v := attrs[key].(type) {
+	case int64:
+		return v, true
+	case int:
+		return int64(v), true
+	case float64:
+		return int64(v), true
+	default:
+		return 0, false
+	}
+}
+
+// Event is a point event from the trace.
+type Event struct {
+	Name    string         `json:"name"`
+	StartUS int64          `json:"start_us"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// Forest is a parsed trace: the span trees plus the loose events.
+type Forest struct {
+	// Roots are the parentless spans (plus orphans whose parent never
+	// completed, e.g. a run cut off mid-flight), ordered by start time.
+	Roots []*Span
+	// ByID indexes every span.
+	ByID map[uint64]*Span
+	// Events holds the point events in stream order.
+	Events []Event
+}
+
+// ParseRecords builds the span forest from already-decoded records — the
+// path used on the live ring sink. Records from a ring may be truncated at
+// the front; spans whose parent is missing become roots.
+func ParseRecords(recs []obs.Record) *Forest {
+	f := &Forest{ByID: make(map[uint64]*Span)}
+	var spans []*Span
+	for _, r := range recs {
+		switch r.Type {
+		case "span":
+			s := &Span{
+				ID:      r.Span,
+				Parent:  r.Parent,
+				Name:    r.Name,
+				StartUS: r.StartUS,
+				DurUS:   r.DurUS,
+				Attrs:   r.Attrs,
+			}
+			spans = append(spans, s)
+			f.ByID[s.ID] = s
+		case "event":
+			f.Events = append(f.Events, Event{Name: r.Name, StartUS: r.StartUS, Attrs: r.Attrs})
+		}
+	}
+	for _, s := range spans {
+		if s.Parent != 0 {
+			if p, ok := f.ByID[s.Parent]; ok {
+				p.Child = append(p.Child, s)
+				continue
+			}
+		}
+		f.Roots = append(f.Roots, s)
+	}
+	byStart := func(ss []*Span) {
+		sort.Slice(ss, func(i, j int) bool {
+			if ss[i].StartUS != ss[j].StartUS {
+				return ss[i].StartUS < ss[j].StartUS
+			}
+			return ss[i].ID < ss[j].ID
+		})
+	}
+	byStart(f.Roots)
+	for _, s := range spans {
+		byStart(s.Child)
+	}
+	return f
+}
+
+// Parse reads a JSONL trace (the -trace file format) into a forest. Blank
+// lines are skipped; a malformed line is an error naming its line number.
+func Parse(r io.Reader) (*Forest, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var recs []obs.Record
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var rec obs.Record
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return ParseRecords(recs), nil
+}
+
+// Walk visits every span of the forest in depth-first pre-order.
+func (f *Forest) Walk(visit func(*Span)) {
+	var rec func(*Span)
+	rec = func(s *Span) {
+		visit(s)
+		for _, c := range s.Child {
+			rec(c)
+		}
+	}
+	for _, r := range f.Roots {
+		rec(r)
+	}
+}
+
+// Spans returns the number of spans in the forest.
+func (f *Forest) Spans() int { return len(f.ByID) }
