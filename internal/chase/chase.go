@@ -37,14 +37,25 @@ var (
 	// deterministic — was deferred to the next round's scan. This quantifies
 	// the cost of the snapshot discipline (ROADMAP open item).
 	mDeferred = obs.NewCounter("chase.triggers_deferred")
-	mRunTime  = obs.NewHistogram("chase.run_seconds", obs.LatencyBuckets)
+	// Speculative-fire/commit protocol counters. spec_firings counts
+	// triggers that passed the applicability check against the round-start
+	// snapshot (speculative phase, parallel); spec_revalidations counts the
+	// commit-time re-checks of survivors whose head predicates gained facts
+	// earlier in the same round; spec_rejected counts survivors those
+	// re-checks killed. All three are deterministic across worker counts —
+	// they depend only on round-start state and commit order.
+	mSpecFirings  = obs.NewCounter("chase.spec_firings")
+	mSpecReval    = obs.NewCounter("chase.spec_revalidations")
+	mSpecRejected = obs.NewCounter("chase.spec_rejected")
+	mRunTime      = obs.NewHistogram("chase.run_seconds", obs.LatencyBuckets)
 	// gRound is the live-progress gauge read back by /statusz: the round
 	// the chase currently in flight is on, reset to 0 when the run ends so
 	// an idle process never reports the previous run's round forever.
-	// Within one run only the round loop's goroutine writes it — parallel
-	// trigger collection happens strictly inside a round and never touches
-	// the gauge — so there is no in-run write race; concurrent *runs*
-	// overwrite each other last-writer-wins, which is fine for a dashboard.
+	// Within one run only the round loop's goroutine writes it — the
+	// parallel trigger-collection and speculative-firing fan-outs happen
+	// strictly inside a round and never touch the gauge — so there is no
+	// in-run write race; concurrent *runs* overwrite each other
+	// last-writer-wins, which is fine for a dashboard.
 	gRound = obs.NewGauge(obs.StatusChaseRound)
 )
 
@@ -241,7 +252,7 @@ func run(base *store.Store, tgds []*logic.TGD, opts Options, abortPred string) (
 	return chaseLoop(base, tgds, opts, abortPred, obs.Span{})
 }
 
-// chaseLoop is the saturation engine. Each round has two phases:
+// chaseLoop is the saturation engine. Each round has three phases:
 //
 //  1. Trigger collection — one read-only homomorphism search per TGD
 //     against the store as it stood at the start of the round, fanned out
@@ -250,12 +261,24 @@ func run(base *store.Store, tgds []*logic.TGD, opts Options, abortPred string) (
 //     picked up next round through the delta (its newest fact is in this
 //     round's delta), so nothing is lost by collecting against the round
 //     snapshot.
-//  2. Firing — strictly sequential, in (rule, enumeration) order, so the
-//     restricted-chase applicability check, provenance ids and invented
-//     null labels are identical for every worker count.
+//  2. Speculative firing — the applicability check and head instantiation
+//     for every trigger, against the same round-start snapshot, fanned out
+//     over the worker pool. Triggers share nothing: the check only reads
+//     the snapshot, and invented nulls are named by firing coordinate
+//     (round, rule, trigger, existential index — store.NullForCoord)
+//     instead of being drawn from a shared counter, so one trigger's
+//     result never depends on another's. Output is therefore
+//     byte-identical at every worker count.
+//  3. Commit — strictly sequential, in (rule, trigger) order. A surviving
+//     speculative firing is re-validated against the live store only when
+//     a predicate of its head gained facts earlier in the same round; the
+//     applicability check reads nothing but head-predicate indexes, so
+//     without such an overlap the snapshot answer still stands. This makes
+//     the committed facts, their ids and their provenance identical to
+//     those of a fully sequential run (see RunSequentialReference).
 //
 // The round gauge is written only here, between phases, never from the
-// collection workers.
+// workers.
 //
 // sp is the enclosing chase.run trace span (inert when tracing is off):
 // each round emits a chase.round child, so a slow chase decomposes
@@ -283,6 +306,24 @@ func chaseLoop(base *store.Store, tgds []*logic.TGD, opts Options, abortPred str
 	delta := s.IDs()
 	budget := opts.maxDerived()
 
+	// Per-rule invariants hoisted out of the round loop: FrontierVars and
+	// ExistentialVars compute fresh slices on every call, and the deduped
+	// head-predicate list drives the commit-phase revalidation test.
+	front := make([][]logic.Term, len(tgds))
+	exist := make([][]logic.Term, len(tgds))
+	headPreds := make([][]string, len(tgds))
+	for i, r := range tgds {
+		front[i] = r.FrontierVars()
+		exist[i] = r.ExistentialVars()
+		seen := make(map[string]bool, len(r.Head))
+		for _, h := range r.Head {
+			if !seen[h.Pred] {
+				seen[h.Pred] = true
+				headPreds[i] = append(headPreds[i], h.Pred)
+			}
+		}
+	}
+
 	for len(delta) > 0 {
 		res.Rounds++
 		mRounds.Inc()
@@ -291,6 +332,9 @@ func chaseLoop(base *store.Store, tgds []*logic.TGD, opts Options, abortPred str
 		flight.ObserveChaseRound(res.Rounds, opts.maxRounds())
 		rsp := sp.Child("chase.round")
 		if res.Rounds > opts.maxRounds() {
+			// Balance the just-emitted round-start event: every exit path
+			// owes a round-end, marked with why the round ended early.
+			flight.RecordNote4(flight.KindChaseRoundEnd, int64(res.Rounds), 0, 0, 0, flight.RoundStatusBudget)
 			rsp.End()
 			return res, fmt.Errorf("%w: more than %d rounds", ErrBudget, opts.maxRounds())
 		}
@@ -312,38 +356,88 @@ func chaseLoop(base *store.Store, tgds []*logic.TGD, opts Options, abortPred str
 			}
 			mDeferred.Add(deferred)
 		}
+		// Phase 2 — speculative firing against the round-start snapshot,
+		// fanned out over the worker pool in flattened (rule, trigger)
+		// order. Attribution IDs are resolved up front (the resolve may
+		// intern, which takes a lock) so workers only do atomic adds.
+		var flatRule, flatTrig []int
+		for ri := range tgds {
+			for ti := range perRule[ri] {
+				flatRule = append(flatRule, ri)
+				flatTrig = append(flatTrig, ti)
+			}
+		}
+		rids := make([]attr.ID, len(tgds))
+		if attr.Enabled() {
+			for ri, rule := range tgds {
+				if len(perRule[ri]) > 0 {
+					rids[ri] = ruleAttrID(rule)
+				}
+			}
+		}
+		specs := par.Map(len(flatRule), func(k int) specFiring {
+			ri, ti := flatRule[k], flatTrig[k]
+			return speculate(s, tgds[ri], rids[ri], perRule[ri][ti], res.Rounds, ri, ti, front[ri], exist[ri])
+		})
+
+		// Phase 3 — sequential commit in the same (rule, trigger) order the
+		// old engine fired in. roundPreds tracks which predicates gained
+		// facts this round; only a head overlapping it needs re-validation
+		// against the live store.
 		var newDelta []store.FactID
 		var firings int64
-		for ri, rule := range tgds {
-			// Resolve the rule's attribution ID once per round, not per
-			// trigger (the resolve may intern, which takes a lock).
-			rid := attr.None
-			if attr.Enabled() && len(perRule[ri]) > 0 {
-				rid = ruleAttrID(rule)
+		roundPreds := make(map[string]bool)
+		for k, f := range specs {
+			if !f.ok {
+				continue
 			}
-			for _, m := range perRule[ri] {
-				fired, derived, err := fire(s, rule, rid, m, budget-len(res.Prov))
-				if err != nil {
-					rsp.End()
-					return res, err
+			ri := flatRule[k]
+			rule := tgds[ri]
+			overlap := false
+			for _, p := range headPreds[ri] {
+				if roundPreds[p] {
+					overlap = true
+					break
 				}
-				if !fired {
+			}
+			if overlap {
+				mSpecReval.Inc()
+				if homo.CachedPlan(homo.CacheKey{Owner: rule, Tag: homo.TagHead}, rule.Head).ExistsSeeded(s, f.frontier) {
+					mSpecRejected.Inc()
 					continue
 				}
-				firings++
-				for i, id := range derived {
-					res.Prov[id] = Derivation{Rule: rule, Parents: m.Facts, HeadIdx: i}
-					newDelta = append(newDelta, id)
-					if abortPred != "" && s.FactRef(id).Pred == abortPred {
-						flight.Record(flight.KindChaseRoundEnd, int64(res.Rounds), int64(len(newDelta)), deferred, firings)
-						if rsp.Live() {
-							rsp.End(obs.Int("round", res.Rounds),
-								obs.Int("derived", len(newDelta)),
-								obs.Int64("firings", firings),
-								obs.Bool("aborted", true))
-						}
-						return res, nil
+			}
+			if budget-len(res.Prov) < len(rule.Head) {
+				flight.RecordNote4(flight.KindChaseRoundEnd, int64(res.Rounds), int64(len(newDelta)), deferred, firings, flight.RoundStatusBudget)
+				rsp.End()
+				return res, ErrBudget
+			}
+			mFirings.Inc()
+			attrFirings.Add(rids[ri], 1)
+			mNulls.Add(int64(f.nulls))
+			ids, err := s.AddBatch(f.atoms)
+			if err != nil {
+				flight.RecordNote4(flight.KindChaseRoundEnd, int64(res.Rounds), int64(len(newDelta)), deferred, firings, flight.RoundStatusError)
+				rsp.End()
+				return res, fmt.Errorf("chase: firing %s: %w", rule, err)
+			}
+			firings++
+			mDerived.Add(int64(len(ids)))
+			attrDerived.Add(rids[ri], int64(len(ids)))
+			parents := perRule[ri][flatTrig[k]].Facts
+			for i, id := range ids {
+				res.Prov[id] = Derivation{Rule: rule, Parents: parents, HeadIdx: i}
+				newDelta = append(newDelta, id)
+				roundPreds[f.atoms[i].Pred] = true
+				if abortPred != "" && f.atoms[i].Pred == abortPred {
+					flight.RecordNote4(flight.KindChaseRoundEnd, int64(res.Rounds), int64(len(newDelta)), deferred, firings, flight.RoundStatusAborted)
+					if rsp.Live() {
+						rsp.End(obs.Int("round", res.Rounds),
+							obs.Int("derived", len(newDelta)),
+							obs.Int64("firings", firings),
+							obs.Bool("aborted", true))
 					}
+					return res, nil
 				}
 			}
 		}
@@ -385,41 +479,43 @@ func collectTriggers(s *store.Store, rule *logic.TGD, all bool, deltaSet map[sto
 	return out
 }
 
-// fire applies a trigger if the restricted-chase condition holds: the head
-// conjunction, with frontier variables bound per the trigger, has no
-// homomorphism into the current store. On firing it adds safe(H) — the head
-// with existential variables replaced by fresh nulls — and returns the new
-// fact ids in head-atom order.
-func fire(s *store.Store, rule *logic.TGD, rid attr.ID, m homo.Match, budget int) (bool, []store.FactID, error) {
+// specFiring is the speculative phase's verdict on one trigger: either a
+// skip (head already satisfied at the round-start snapshot) or a fully
+// instantiated head — safe(H) with coordinate-named nulls — ready to commit.
+type specFiring struct {
+	ok       bool
+	frontier logic.Subst
+	atoms    []logic.Atom
+	nulls    int
+}
+
+// speculate runs the restricted-chase applicability check and the head
+// instantiation for one trigger against the round-start snapshot. It only
+// reads the store and shares nothing mutable with other triggers, so the
+// per-trigger calls of one round may run concurrently (head plans keep
+// per-search state in a pool). Invented nulls are named by the firing
+// coordinate via store.NullForCoord, so their labels do not depend on which
+// other triggers fire, or in what order.
+func speculate(s *store.Store, rule *logic.TGD, rid attr.ID, m homo.Match, round, ri, ti int, front, exist []logic.Term) specFiring {
 	mTriggers.Inc()
 	attrTriggers.Add(rid, 1)
-	frontier := m.Subst.Restrict(rule.FrontierVars())
+	frontier := m.Subst.Restrict(front)
 	if homo.CachedPlan(homo.CacheKey{Owner: rule, Tag: homo.TagHead}, rule.Head).ExistsSeeded(s, frontier) {
-		return false, nil, nil
+		return specFiring{}
 	}
-	if budget < len(rule.Head) {
-		return false, nil, ErrBudget
-	}
-	mFirings.Inc()
-	attrFirings.Add(rid, 1)
-	inst := frontier.Clone()
-	existential := rule.ExistentialVars()
-	mNulls.Add(int64(len(existential)))
-	for _, z := range existential {
-		inst[z] = s.FreshNull()
-	}
-	ids := make([]store.FactID, len(rule.Head))
-	for i, h := range rule.Head {
-		atom := inst.Apply(h)
-		id, err := s.Add(atom)
-		if err != nil {
-			return false, nil, fmt.Errorf("chase: firing %s: %w", rule, err)
+	mSpecFirings.Inc()
+	inst := frontier
+	if len(exist) > 0 {
+		inst = frontier.Clone()
+		for x, z := range exist {
+			inst[z] = s.NullForCoord(round, ri, ti, x)
 		}
-		ids[i] = id
 	}
-	mDerived.Add(int64(len(ids)))
-	attrDerived.Add(rid, int64(len(ids)))
-	return true, ids, nil
+	atoms := make([]logic.Atom, len(rule.Head))
+	for i, h := range rule.Head {
+		atoms[i] = inst.Apply(h)
+	}
+	return specFiring{ok: true, frontier: frontier, atoms: atoms, nulls: len(exist)}
 }
 
 // IsConsistentNaive runs the full chase and then evaluates every CDD body on

@@ -1,0 +1,82 @@
+package chase
+
+import (
+	"fmt"
+
+	"kbrepair/internal/homo"
+	"kbrepair/internal/logic"
+	"kbrepair/internal/store"
+)
+
+// RunSequentialReference computes the restricted chase with the
+// pre-parallel engine: triggers collected rule by rule, firing strictly
+// sequential in (rule, enumeration) order, invented nulls drawn from the
+// store's global FreshNull counter. It is retained — like
+// homo.ReferenceForEachSeeded — as the semantics baseline for the
+// speculative-fire/commit engine behind Run: differential tests require
+// Run's output to match this one fact-for-fact at the same ids, with the
+// same provenance and round structure, modulo a bijective renaming of
+// invented nulls (store.EqualUpToNullRenaming). Unlike Run it is
+// uninstrumented: no metrics, spans, flight events or worker fan-out.
+func RunSequentialReference(base *store.Store, tgds []*logic.TGD, opts Options) (*Result, error) {
+	res := &Result{
+		Store:   base.Clone(),
+		BaseLen: base.Len(),
+		Prov:    make(map[store.FactID]Derivation),
+	}
+	if len(tgds) == 0 {
+		return res, nil
+	}
+	s := res.Store
+	delta := s.IDs()
+	budget := opts.maxDerived()
+	for len(delta) > 0 {
+		res.Rounds++
+		if res.Rounds > opts.maxRounds() {
+			return res, fmt.Errorf("%w: more than %d rounds", ErrBudget, opts.maxRounds())
+		}
+		deltaSet := make(map[store.FactID]bool, len(delta))
+		for _, id := range delta {
+			deltaSet[id] = true
+		}
+		all := res.Rounds == 1
+		// All triggers are collected against the round-start snapshot,
+		// before any firing — the same discipline as the parallel engine.
+		perRule := make([][]homo.Match, len(tgds))
+		for i, rule := range tgds {
+			perRule[i] = collectTriggers(s, rule, all, deltaSet)
+		}
+		var newDelta []store.FactID
+		for ri, rule := range tgds {
+			frontVars := rule.FrontierVars()
+			existential := rule.ExistentialVars()
+			for _, m := range perRule[ri] {
+				frontier := m.Subst.Restrict(frontVars)
+				// The restricted-chase applicability check against the
+				// store as it stands mid-round: firings earlier in the
+				// sequential order suppress later triggers whose head
+				// they satisfied.
+				if homo.CachedPlan(homo.CacheKey{Owner: rule, Tag: homo.TagHead}, rule.Head).ExistsSeeded(s, frontier) {
+					continue
+				}
+				if budget-len(res.Prov) < len(rule.Head) {
+					return res, ErrBudget
+				}
+				inst := frontier.Clone()
+				for _, z := range existential {
+					inst[z] = s.FreshNull()
+				}
+				for i, h := range rule.Head {
+					id, err := s.Add(inst.Apply(h))
+					if err != nil {
+						return res, fmt.Errorf("chase: firing %s: %w", rule, err)
+					}
+					res.Prov[id] = Derivation{Rule: rule, Parents: m.Facts, HeadIdx: i}
+					newDelta = append(newDelta, id)
+				}
+			}
+		}
+		delta = newDelta
+	}
+	return res, nil
+}

@@ -48,7 +48,12 @@ const (
 	KindChaseRoundStart
 	// KindChaseRoundEnd: round number, facts derived this round, triggers
 	// evaluated this round that were deferred across the round-start
-	// snapshot boundary, and rule firings this round.
+	// snapshot boundary, and rule firings this round. Note is the exit
+	// status — empty for a normally completed round, or one of the
+	// RoundStatus* markers when the chase left the round early. Every
+	// KindChaseRoundStart is balanced by exactly one KindChaseRoundEnd,
+	// whatever path the chase exits through; kbdump timelines and
+	// traceview waterfalls rely on the pairing.
 	KindChaseRoundEnd
 	// KindConflictScan summarizes one detection pass: CDDs scanned,
 	// conflicts found, and whether the scan was chase-level (1) or naive (0).
@@ -90,7 +95,7 @@ type kindSpec struct {
 var kindSpecs = [numKinds]kindSpec{
 	KindSessionStart:    {"inquiry.session_start", [4]string{"facts", "naive_conflicts", "total_conflicts", ""}, "strategy"},
 	KindChaseRoundStart: {"chase.round_start", [4]string{"round", "delta", "", ""}, ""},
-	KindChaseRoundEnd:   {"chase.round_end", [4]string{"round", "derived", "deferred", "firings"}, ""},
+	KindChaseRoundEnd:   {"chase.round_end", [4]string{"round", "derived", "deferred", "firings"}, "status"},
 	KindConflictScan:    {"conflict.scan", [4]string{"cdds", "found", "chase_level", ""}, ""},
 	KindTrackerUpdate:   {"conflict.tracker_update", [4]string{"fact", "removed", "added", ""}, ""},
 	KindQuestion:        {"inquiry.question", [4]string{"phase", "fixes", "conflicts", "delay_us"}, ""},
@@ -319,3 +324,24 @@ func RecordNote(k Kind, n1, n2, n3 int64, note string) {
 		r.record(k, n1, n2, n3, 0, note)
 	}
 }
+
+// RecordNote4 is RecordNote with all four numeric slots — for kinds like
+// KindChaseRoundEnd whose payload uses every slot alongside the note. The
+// same pre-materialized-string rule applies.
+func RecordNote4(k Kind, n1, n2, n3, n4 int64, note string) {
+	if r := active.Load(); r != nil {
+		r.record(k, n1, n2, n3, n4, note)
+	}
+}
+
+// Exit-status markers for KindChaseRoundEnd's note slot. Constants so the
+// chase's record calls never allocate a string.
+const (
+	// RoundStatusAborted: the ⊥ optimization derived the abort predicate
+	// and stopped the chase inside this round — expected early exit.
+	RoundStatusAborted = "aborted"
+	// RoundStatusBudget: the round or derivation budget was exceeded.
+	RoundStatusBudget = "budget"
+	// RoundStatusError: a firing failed; the chase returned an error.
+	RoundStatusError = "error"
+)

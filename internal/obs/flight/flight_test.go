@@ -73,6 +73,41 @@ func TestEventJSONFieldNames(t *testing.T) {
 	}
 }
 
+// TestRoundEndStatusJSON pins the abnormal-exit rendering of chase round
+// ends: all four payload slots plus the status marker — and that a normal
+// round end (empty status) omits the field entirely, keeping existing
+// timelines byte-stable.
+func TestRoundEndStatusJSON(t *testing.T) {
+	resetGlobal(t)
+	r := Enable(16)
+	RecordNote4(KindChaseRoundEnd, 3, 0, 2, 9, RoundStatusBudget)
+	events := r.Events()
+	if len(events) != 1 {
+		t.Fatalf("recorded %d events, want 1", len(events))
+	}
+	var m map[string]any
+	if err := json.Unmarshal(events[0].JSON(), &m); err != nil {
+		t.Fatalf("event JSON invalid: %v\n%s", err, events[0].JSON())
+	}
+	for k, v := range map[string]float64{"round": 3, "derived": 0, "deferred": 2, "firings": 9} {
+		if got, ok := m[k].(float64); !ok || got != v {
+			t.Errorf("field %q = %v, want %v", k, m[k], v)
+		}
+	}
+	if m["status"] != RoundStatusBudget {
+		t.Errorf("status = %v, want %q", m["status"], RoundStatusBudget)
+	}
+	// Normal end: no status field.
+	normal := Event{Kind: KindChaseRoundEnd, N1: 1}
+	var n map[string]any
+	if err := json.Unmarshal(normal.JSON(), &n); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := n["status"]; present {
+		t.Error("empty status rendered on a normal round end")
+	}
+}
+
 func TestEventJSONNote(t *testing.T) {
 	e := Event{Seq: 1, Kind: KindAnswer, N1: 4, N2: 0, N3: 1, Note: `pa"d`}
 	var m map[string]any

@@ -1,8 +1,9 @@
 // Package par provides the worker-pool parallel execution layer of
-// kbrepair. The pipeline's two dominant costs — conflict detection (one
+// kbrepair. The pipeline's dominant costs — conflict detection (one
 // independent homomorphism search per CDD, and per pinned-atom seed in the
-// incremental tracker) and per-round chase trigger collection (one
-// independent read-only search per TGD) — fan out through Do/Map here.
+// incremental tracker) and the per-round chase phases (one read-only
+// trigger search per TGD, then one speculative applicability check and head
+// instantiation per trigger) — fan out through Do/Map here.
 //
 // Design rules, enforced by the callers:
 //
@@ -75,7 +76,7 @@ func SetWorkers(n int) int {
 func AddFlags(fs *flag.FlagSet) *int {
 	n := new(int)
 	fs.IntVar(n, "workers", 0,
-		fmt.Sprintf("parallel worker count for conflict detection and chase trigger collection (0 = GOMAXPROCS, currently %d)", runtime.GOMAXPROCS(0)))
+		fmt.Sprintf("parallel worker count for conflict detection and the chase's trigger-collection and speculative-firing phases (0 = GOMAXPROCS, currently %d)", runtime.GOMAXPROCS(0)))
 	return n
 }
 

@@ -2,7 +2,6 @@ package parser
 
 import (
 	"fmt"
-	"strings"
 	"unicode"
 	"unicode/utf8"
 
@@ -28,17 +27,11 @@ func (d *Document) Store() (*store.Store, error) {
 	maxLabel := 0
 	for _, a := range d.Facts {
 		for _, t := range a.Args {
-			if t.IsNull() && strings.HasPrefix(t.Name, "n") {
-				n := 0
-				ok := len(t.Name) > 1
-				for _, c := range t.Name[1:] {
-					if c < '0' || c > '9' {
-						ok = false
-						break
-					}
-					n = n*10 + int(c-'0')
-				}
-				if ok && n > maxLabel {
+			if t.IsNull() {
+				// Overflow-guarded: a label too large for int can never be
+				// minted by FreshNull, so it needs no reservation (and a
+				// wrapped parse must not corrupt the counter).
+				if n, ok := store.ParseNumericNullLabel(t.Name); ok && n > maxLabel {
 					maxLabel = n
 				}
 			}

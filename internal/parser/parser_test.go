@@ -80,6 +80,27 @@ func TestParseNullReservation(t *testing.T) {
 	}
 }
 
+// TestParseNullReservationOverflow: a parsed numeric null label beyond
+// MaxInt used to wrap the reservation parse. Such labels are unreachable
+// for FreshNull, so they must be ignored — without disturbing reservation
+// of the sane labels next to them.
+func TestParseNullReservationOverflow(t *testing.T) {
+	doc, err := Parse(`p(_:n9999999999999999999999). q(_:n3).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := doc.Store()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NullSeq(); got != 3 {
+		t.Errorf("NullSeq = %d, want 3 (overflowing label ignored, n3 reserved)", got)
+	}
+	if n := s.FreshNull(); n != logic.N("n4") {
+		t.Errorf("FreshNull = %v, want n4", n)
+	}
+}
+
 func TestParseQuotedConstants(t *testing.T) {
 	doc, err := Parse(`isDeferredTo(Mike, "12/10/2015").
 [cdd] isUrgent(X, Y, Z), isDeferredTo(X, W) -> !.

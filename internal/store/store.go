@@ -20,19 +20,20 @@
 //
 // A Store is safe for concurrent readers, and only readers: any number of
 // goroutines may call the read-side accessors (Candidates,
-// CandidatesByPred, ActiveDomain, FactRef, Value, Contains, …)
-// simultaneously as long as no goroutine mutates the store (Add, SetValue,
-// FreshNull, ReserveNulls) in the same window. Writes require exclusive
-// access; the caller provides that exclusion — the store has no internal
-// locking, because the repair pipeline's phases are already strictly
-// "parallel read, then sequential write" (parallel conflict detection and
-// chase trigger collection read; fix application and rule firing write from
-// one goroutine between fan-outs). Metric increments inside read paths are
-// atomic and do not break the contract.
+// CandidatesByPred, ActiveDomain, FactRef, Value, Contains, NullForCoord, …)
+// simultaneously as long as no goroutine mutates the store (Add, AddBatch,
+// SetValue, FreshNull, ReserveNulls) in the same window. Writes require
+// exclusive access; the caller provides that exclusion — the store has no
+// internal locking, because the repair pipeline's phases are already strictly
+// "parallel read, then sequential write" (parallel conflict detection, chase
+// trigger collection and speculative rule firing read; fix application and
+// the chase commit phase write from one goroutine between fan-outs). Metric
+// increments inside read paths are atomic and do not break the contract.
 package store
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -148,6 +149,41 @@ func (s *Store) Add(a logic.Atom) (FactID, error) {
 	return id, nil
 }
 
+// AddBatch inserts a batch of ground atoms and returns their new FactIDs in
+// order. The batch is validated up front and applied atomically: if any atom
+// is non-ground, no atom is inserted. The fact array is grown once for the
+// whole batch — this is the chase commit phase's append path (one batch per
+// firing, the instantiated safe(H)).
+func (s *Store) AddBatch(atoms []logic.Atom) ([]FactID, error) {
+	for _, a := range atoms {
+		if !a.IsGround() {
+			return nil, fmt.Errorf("store: cannot add non-ground atom %s", a)
+		}
+	}
+	if len(atoms) == 0 {
+		return nil, nil
+	}
+	mFactsAdded.Add(int64(len(atoms)))
+	ids := make([]FactID, len(atoms))
+	if need := len(s.facts) + len(atoms); cap(s.facts) < need {
+		grown := make([]logic.Atom, len(s.facts), need+need/2)
+		copy(grown, s.facts)
+		s.facts = grown
+	}
+	for i, a := range atoms {
+		id := FactID(len(s.facts))
+		s.facts = append(s.facts, a.Clone())
+		s.byPred[a.Pred] = append(s.byPred[a.Pred], id)
+		for j, t := range a.Args {
+			s.index[indexKey{a.Pred, j, t}] = append(s.index[indexKey{a.Pred, j, t}], id)
+			s.adomAdd(a.Pred, j, t)
+		}
+		s.byKey[a.Key()] = append(s.byKey[a.Key()], id)
+		ids[i] = id
+	}
+	return ids, nil
+}
+
 // MustAdd is like Add but panics on error.
 func (s *Store) MustAdd(a logic.Atom) FactID {
 	id, err := s.Add(a)
@@ -254,16 +290,7 @@ func (s *Store) adomAdd(pred string, arg int, t logic.Term) {
 	// Auto-reserve numeric null labels so FreshNull can never collide with
 	// a null inserted from outside (parsed files, hand-built stores).
 	if t.Kind == logic.Null && len(t.Name) > 1 && t.Name[0] == 'n' {
-		n, ok := 0, true
-		for i := 1; i < len(t.Name); i++ {
-			c := t.Name[i]
-			if c < '0' || c > '9' {
-				ok = false
-				break
-			}
-			n = n*10 + int(c-'0')
-		}
-		if ok {
+		if n, ok := ParseNumericNullLabel(t.Name); ok {
 			s.ReserveNulls(n)
 		}
 	}
@@ -413,11 +440,81 @@ func (s *Store) NumPositions() int {
 	return n
 }
 
+// ParseNumericNullLabel parses a FreshNull-shaped label "n<digits>" and
+// returns its counter value. It reports false for any other shape — and,
+// critically, for digit strings that overflow int: FreshNull renders an int,
+// so a label whose numeric value does not fit in one can never collide with
+// a FreshNull allocation, and reserving a silently wrapped value would at
+// best no-op and at worst (32-bit int) under-reserve, letting FreshNull
+// later mint a label equal to an externally inserted null.
+func ParseNumericNullLabel(name string) (int, bool) {
+	if len(name) < 2 || name[0] != 'n' {
+		return 0, false
+	}
+	n := 0
+	for i := 1; i < len(name); i++ {
+		c := name[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := int(c - '0')
+		if n > (math.MaxInt-d)/10 {
+			return 0, false
+		}
+		n = n*10 + d
+	}
+	return n, true
+}
+
 // FreshNull allocates a labeled null that has never been used by this store
 // (nor by any ancestor it was cloned from).
 func (s *Store) FreshNull() logic.Term {
 	s.nullSeq++
 	return logic.N("n" + strconv.Itoa(s.nullSeq))
+}
+
+// CoordNullLabel renders the deterministic label of the null invented at
+// chase firing coordinate (round, rule index, trigger index, existential-var
+// index): "n<round>r<rule>t<trig>x<ex>". The label is a function of the
+// coordinate alone — not of any allocation counter — so a firing's nulls do
+// not depend on which firings preceded it, which is what lets chase rule
+// firing fan out across workers while staying byte-identical at every worker
+// count. All characters are identifier-safe for the parser's "_:label" null
+// syntax, and the shape is never purely numeric, so the FreshNull
+// auto-reserve in adomAdd ignores it.
+func CoordNullLabel(round, rule, trig, ex int) string {
+	b := make([]byte, 0, 16)
+	b = append(b, 'n')
+	b = strconv.AppendInt(b, int64(round), 10)
+	b = append(b, 'r')
+	b = strconv.AppendInt(b, int64(rule), 10)
+	b = append(b, 't')
+	b = strconv.AppendInt(b, int64(trig), 10)
+	b = append(b, 'x')
+	b = strconv.AppendInt(b, int64(ex), 10)
+	return string(b)
+}
+
+// NullForCoord returns the invented null for a chase firing coordinate,
+// deterministically escaped against the store's current contents: if the
+// coordinate label already occurs anywhere in the store — an externally
+// inserted coordinate-shaped null, or the inventions of a previous chase
+// when a chase result is chased again — successive "c1", "c2", … suffixes
+// are tried until a free label is found. The method only reads the store
+// (no counter is consumed), so it is safe under the concurrent-read
+// contract and the result depends only on store contents, never on
+// allocation order.
+func (s *Store) NullForCoord(round, rule, trig, ex int) logic.Term {
+	t := logic.N(CoordNullLabel(round, rule, trig, ex))
+	if s.vals[t] == 0 {
+		return t
+	}
+	for k := 1; ; k++ {
+		esc := logic.N(t.Name + "c" + strconv.Itoa(k))
+		if s.vals[esc] == 0 {
+			return esc
+		}
+	}
 }
 
 // ReserveNulls bumps the fresh-null counter so that subsequently allocated

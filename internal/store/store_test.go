@@ -1,6 +1,7 @@
 package store
 
 import (
+	"math"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -366,6 +367,122 @@ func TestAutoReserveNumericNullLabels(t *testing.T) {
 	s2.MustAdd(logic.NewAtom("p", logic.N("nope")))
 	if s2.NullSeq() != 0 {
 		t.Errorf("non-numeric label advanced counter to %d", s2.NullSeq())
+	}
+}
+
+// TestAutoReserveOverflowGuard is the regression test for the adomAdd parse
+// wrap: a numeric label larger than MaxInt used to overflow n*10+d, making
+// the auto-reserve either no-op or corrupt the counter. Such labels are
+// unreachable for FreshNull (which renders an int), so the correct behavior
+// is to ignore them entirely — and to keep reserving sane labels inserted
+// afterwards.
+func TestAutoReserveOverflowGuard(t *testing.T) {
+	s := New()
+	huge := "n9999999999999999999999" // 22 digits, far beyond MaxInt
+	s.MustAdd(logic.NewAtom("p", logic.N(huge)))
+	if s.NullSeq() != 0 {
+		t.Errorf("overflowing label moved counter to %d, want 0", s.NullSeq())
+	}
+	if n := s.FreshNull(); n != logic.N("n1") || n.Name == huge {
+		t.Errorf("FreshNull after overflowing label = %v, want n1", n)
+	}
+	// Sane labels still reserve after an overflowing one was seen.
+	s.MustAdd(logic.NewAtom("p", logic.N("n12")))
+	if n := s.FreshNull(); n != logic.N("n13") {
+		t.Errorf("FreshNull after n12 = %v, want n13", n)
+	}
+}
+
+func TestParseNumericNullLabel(t *testing.T) {
+	cases := []struct {
+		label string
+		n     int
+		ok    bool
+	}{
+		{"n7", 7, true},
+		{"n9223372036854775807", math.MaxInt64, true}, // exactly MaxInt on 64-bit
+		{"n9223372036854775808", 0, false},            // MaxInt64+1 overflows
+		{"n9999999999999999999", 0, false},
+		{"n", 0, false},
+		{"n12a", 0, false},
+		{"x12", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		n, ok := ParseNumericNullLabel(c.label)
+		if ok != c.ok || (ok && n != c.n) {
+			t.Errorf("ParseNumericNullLabel(%q) = (%d, %v), want (%d, %v)", c.label, n, ok, c.n, c.ok)
+		}
+	}
+}
+
+// TestNullForCoord pins the coordinate-null contract: labels are a pure
+// function of the firing coordinate, consume no allocation counter, and are
+// deterministically escaped when the store already holds the label.
+func TestNullForCoord(t *testing.T) {
+	s := New()
+	n := s.NullForCoord(2, 0, 17, 1)
+	if n != logic.N("n2r0t17x1") {
+		t.Fatalf("NullForCoord = %v, want n2r0t17x1", n)
+	}
+	if s.NullForCoord(2, 0, 17, 1) != n {
+		t.Error("NullForCoord not idempotent for the same coordinate")
+	}
+	if s.NullSeq() != 0 {
+		t.Errorf("NullForCoord consumed the FreshNull counter: %d", s.NullSeq())
+	}
+	// Coordinate labels never look numeric, so they do not advance the
+	// FreshNull auto-reserve either.
+	s.MustAdd(logic.NewAtom("p", n))
+	if s.NullSeq() != 0 {
+		t.Errorf("coordinate label advanced the numeric counter to %d", s.NullSeq())
+	}
+	// An occupied label escapes deterministically: c1, then c2.
+	if esc := s.NullForCoord(2, 0, 17, 1); esc != logic.N("n2r0t17x1c1") {
+		t.Errorf("escape = %v, want n2r0t17x1c1", esc)
+	}
+	s.MustAdd(logic.NewAtom("p", logic.N("n2r0t17x1c1")))
+	if esc := s.NullForCoord(2, 0, 17, 1); esc != logic.N("n2r0t17x1c2") {
+		t.Errorf("second escape = %v, want n2r0t17x1c2", esc)
+	}
+	// Distinct coordinates stay distinct.
+	if s.NullForCoord(2, 0, 17, 0) == n || s.NullForCoord(3, 0, 17, 1) == n {
+		t.Error("distinct coordinates collided")
+	}
+}
+
+func TestAddBatch(t *testing.T) {
+	s := New()
+	s.MustAdd(logic.NewAtom("p", logic.C("a")))
+	ids, err := s.AddBatch([]logic.Atom{
+		logic.NewAtom("q", logic.C("a"), logic.C("b")),
+		logic.NewAtom("r", logic.C("b")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Fatalf("AddBatch ids = %v, want [1 2]", ids)
+	}
+	if !s.Contains(logic.NewAtom("q", logic.C("a"), logic.C("b"))) || !s.Contains(logic.NewAtom("r", logic.C("b"))) {
+		t.Error("batched atoms missing")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Errorf("invariants after AddBatch: %v", err)
+	}
+	// A non-ground atom anywhere in the batch rejects the whole batch.
+	if _, err := s.AddBatch([]logic.Atom{
+		logic.NewAtom("ok", logic.C("x")),
+		logic.NewAtom("bad", logic.V("Z")),
+	}); err == nil {
+		t.Fatal("AddBatch accepted non-ground atom")
+	}
+	if s.Len() != 3 {
+		t.Errorf("failed batch partially applied: len = %d, want 3", s.Len())
+	}
+	// Empty batch is a no-op.
+	if ids, err := s.AddBatch(nil); err != nil || len(ids) != 0 {
+		t.Errorf("empty batch = (%v, %v)", ids, err)
 	}
 }
 
