@@ -19,12 +19,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"kbrepair/internal/durum"
 	"kbrepair/internal/exp"
 	"kbrepair/internal/obs"
 	"kbrepair/internal/obs/attr"
 	"kbrepair/internal/obs/flight"
+	"kbrepair/internal/obs/sched"
 	"kbrepair/internal/par"
 )
 
@@ -39,9 +41,11 @@ func main() {
 		baseline  = flag.String("baseline", "", "compare this run against a prior -json report; exit non-zero on regression")
 		threshold = flag.Float64("threshold", 1.25, "regression threshold for -baseline: fail when new mean > old mean x this")
 		regressOK = flag.Bool("regress-ok", false, "with -baseline: report regressions but exit zero (CI report-only mode)")
+		effCheck  = flag.Bool("efficiency-check", false, "with -json/-baseline: fail unless the efficiency section exists, its numbers are internally consistent and lane events balanced (the sched-smoke gate)")
 	)
 	obsCfg := obs.AddFlags(flag.CommandLine)
 	flightCfg := flight.AddFlags(flag.CommandLine)
+	schedCfg := sched.AddFlags(flag.CommandLine)
 	workersFlag := par.AddFlags(flag.CommandLine)
 	flag.Parse()
 	if err := obs.ValidateFlags(flag.CommandLine, "workers"); err != nil {
@@ -55,22 +59,34 @@ func main() {
 		os.Exit(1)
 	}
 	finish := flight.Setup("kbbench", *flightCfg)
+	schedFlush, err := sched.SetupCLI(*schedCfg, *obsCfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kbbench:", err)
+		os.Exit(1)
+	}
 	benching := *benchJSON != "" || *baseline != ""
 	var benchRing *obs.RingSink
 	if benching {
 		// The report's latency summaries need the opt-in timers on, and its
 		// trace section a span stream of the benchmarked runs — a large ring
-		// teed onto whatever sink -trace may have installed.
+		// teed onto whatever sink -trace may have installed. The efficiency
+		// section needs the lane recorder, which SetupCLI only arms when
+		// -sched or -pprof was given.
 		obs.SetEnabled(true)
 		benchRing = obs.NewRingSink(1 << 17)
 		obs.AddTraceSink(benchRing)
+		if !sched.Enabled() {
+			sched.Enable(0)
+		}
 	}
 	// The report's profile section and the observability outputs both want
 	// per-rule attribution; plain table runs skip its memory cost.
 	attr.SetEnabled(benching || obsCfg.Enabled())
 
 	out := bufio.NewWriter(os.Stdout)
+	wallStart := time.Now()
 	runErr := run(out, *which, *scale, *reps, *seed)
+	wallUS := time.Since(wallStart).Microseconds()
 	if runErr == nil && obsCfg.Enabled() {
 		exp.WriteMetrics(out, obs.Default().Snapshot())
 	}
@@ -80,12 +96,30 @@ func main() {
 		rep := exp.NewBenchReport(label, snap)
 		rep.Profile = exp.BuildProfile(attr.Capture(), snap)
 		rep.Trace = exp.BuildTraceSummary(benchRing.Records(), benchRing.Total())
-		runErr = benchBaseline(out, rep, *benchJSON, *baseline, *threshold, *regressOK)
+		var queueWait float64
+		if h, ok := snap.Histograms["par.queue_wait_seconds"]; ok {
+			queueWait = h.Sum
+		}
+		rep.Efficiency = exp.BuildEfficiency(sched.Capture(), wallUS, queueWait, par.Workers())
+		exp.WriteEfficiency(out, rep.Efficiency)
+		if *effCheck {
+			if err := rep.Efficiency.Validate(); err != nil {
+				runErr = err
+			}
+		}
+		if runErr == nil {
+			runErr = benchBaseline(out, rep, *benchJSON, *baseline, *threshold, *regressOK)
+		}
+	} else if *effCheck && runErr == nil {
+		runErr = fmt.Errorf("-efficiency-check requires -json or -baseline")
 	}
 	if err := out.Flush(); err != nil && runErr == nil {
 		runErr = fmt.Errorf("writing output: %w", err)
 	}
 	if err := finish(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if err := schedFlush(); err != nil && runErr == nil {
 		runErr = err
 	}
 	if err := flush(); err != nil && runErr == nil {

@@ -160,6 +160,8 @@ func run(w io.Writer, path string, timeline bool, tail int, withMetrics, gorouti
 	writeDigest(w, b)
 	writeJournal(w, b)
 	writeTrace(w, b)
+	writeSched(w, b)
+	writeRuntime(w, b)
 	writeAnomalies(w, events)
 	if profile {
 		writeProfile(w, b, top)
@@ -202,6 +204,55 @@ func writeManifest(w io.Writer, b *flight.Bundle) {
 		fmt.Fprintf(w, " (%d evicted by the ring)", evicted)
 	}
 	fmt.Fprintln(w)
+	if b.HeapProfile != "" || b.MutexProfile != "" || b.BlockProfile != "" {
+		fmt.Fprintf(w, "  profiles: heap %dB, mutex %dB, block %dB\n",
+			len(b.HeapProfile), len(b.MutexProfile), len(b.BlockProfile))
+	}
+	fmt.Fprintln(w)
+}
+
+// writeSched renders the bundle's worker-lane section: per-phase
+// utilization aggregates from the sched recorder. Absent when lane
+// recording was off at capture time.
+func writeSched(w io.Writer, b *flight.Bundle) {
+	if b.Sched == nil {
+		return
+	}
+	s := b.Sched
+	fmt.Fprintln(w, "== Scheduler lanes ==")
+	fmt.Fprintf(w, "  %d fanouts, %d intervals retained of %d recorded",
+		s.FanoutsTotal, s.IntervalsRetained, s.IntervalsTotal)
+	if s.OpenFanouts != 0 || s.AbortedFanouts != 0 {
+		fmt.Fprintf(w, "  UNBALANCED: %d open, %d aborted", s.OpenFanouts, s.AbortedFanouts)
+	}
+	fmt.Fprintln(w)
+	for _, a := range s.Labels {
+		util := 0.0
+		if a.WorkerUS > 0 {
+			util = float64(a.BusyUS) / float64(a.WorkerUS) * 100
+			if util > 100 {
+				util = 100
+			}
+		}
+		fmt.Fprintf(w, "  %-18s %5.1f%% utilization  %6d tasks  %5d fanouts  workers<=%d\n",
+			a.Label, util, a.Tasks, a.Fanouts, a.MaxWorkers)
+	}
+	fmt.Fprintln(w)
+}
+
+// writeRuntime renders the runtime/metrics reading taken at capture time.
+func writeRuntime(w io.Writer, b *flight.Bundle) {
+	if b.Runtime == nil {
+		return
+	}
+	r := b.Runtime
+	fmt.Fprintln(w, "== Runtime ==")
+	fmt.Fprintf(w, "  goroutines=%d gomaxprocs=%d heap_live=%dMB heap_goal=%dMB gc_cycles=%d\n",
+		r.Goroutines, r.GOMAXPROCS, r.HeapLiveBytes>>20, r.HeapGoalBytes>>20, r.GCCycles)
+	fmt.Fprintf(w, "  gc pauses: %d samples, p50=%.3gms p99=%.3gms max=%.3gms\n",
+		r.GCPauses.Count, r.GCPauses.P50*1e3, r.GCPauses.P99*1e3, r.GCPauses.Max*1e3)
+	fmt.Fprintf(w, "  sched latency: %d samples, p50=%.3gms p99=%.3gms max=%.3gms\n",
+		r.SchedLatencies.Count, r.SchedLatencies.P50*1e3, r.SchedLatencies.P99*1e3, r.SchedLatencies.Max*1e3)
 	fmt.Fprintln(w)
 }
 

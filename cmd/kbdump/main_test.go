@@ -4,7 +4,11 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"kbrepair/internal/obs/flight"
+	"kbrepair/internal/obs/sched"
 )
 
 // TestFixtureBundleGolden renders the committed fixture bundle and compares
@@ -69,5 +73,43 @@ func TestFixtureBundleDiffSelf(t *testing.T) {
 	}
 	if bytes.Contains([]byte(out), []byte("* ")) {
 		t.Errorf("self-diff should have no changed rows:\n%s", out)
+	}
+}
+
+// TestLiveBundleSchedSections captures a bundle with lane recording on and
+// checks the report's scheduler-lane, runtime and profile-size sections.
+func TestLiveBundleSchedSections(t *testing.T) {
+	flight.Enable(32)
+	defer flight.Disable()
+	sched.Enable(0)
+	defer sched.Disable()
+	fo := sched.Begin("chase.spec", 3, 2)
+	for i := 0; i < 3; i++ {
+		t0 := fo.Start()
+		fo.Task(i%2, i, t0)
+	}
+	fo.End()
+	dir := filepath.Join(t.TempDir(), "bundle")
+	if err := flight.Capture("kbdump-test").WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run(&buf, dir, false, 0, false, false, false, 0); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"== Scheduler lanes ==",
+		"chase.spec",
+		"== Runtime ==",
+		"goroutines=",
+		"profiles: heap ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "UNBALANCED") {
+		t.Errorf("balanced run reported as unbalanced:\n%s", out)
 	}
 }

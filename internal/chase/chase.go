@@ -343,7 +343,7 @@ func chaseLoop(base *store.Store, tgds []*logic.TGD, opts Options, abortPred str
 			deltaSet[id] = true
 		}
 		all := res.Rounds == 1
-		perRule := par.Map(len(tgds), func(i int) []homo.Match {
+		perRule := par.MapNamed("chase.collect", len(tgds), func(i int) []homo.Match {
 			return collectTriggers(s, tgds[i], all, deltaSet)
 		})
 		// Every trigger surviving the delta filter in round ≥ 2 involves a
@@ -375,7 +375,7 @@ func chaseLoop(base *store.Store, tgds []*logic.TGD, opts Options, abortPred str
 				}
 			}
 		}
-		specs := par.Map(len(flatRule), func(k int) specFiring {
+		specs := par.MapNamed("chase.spec", len(flatRule), func(k int) specFiring {
 			ri, ti := flatRule[k], flatTrig[k]
 			return speculate(s, tgds[ri], rids[ri], perRule[ri][ti], res.Rounds, ri, ti, front[ri], exist[ri])
 		})

@@ -181,7 +181,7 @@ func AllNaiveUnder(parent uint64, base *store.Store, cdds []*logic.CDD) []*Confl
 		sp = obs.StartSpanUnder(parent, "conflict.scan",
 			obs.Int("cdds", len(cdds)), obs.Bool("naive", true))
 	}
-	perCDD := par.Map(len(cdds), func(i int) []*Conflict {
+	perCDD := par.MapNamed("conflict.scan", len(cdds), func(i int) []*Conflict {
 		return scanCDD(base, cdds[i], i, nil)
 	})
 	var out []*Conflict
@@ -266,7 +266,7 @@ func All(base *store.Store, tgds []*logic.TGD, cdds []*logic.CDD, opts chase.Opt
 	// Same fan-out shape as AllNaive: one read-only task per CDD over the
 	// chased store, merged in CDD-index order. Concurrent tasks share the
 	// chase result's memoized base-support cache, which is goroutine-safe.
-	perCDD := par.Map(len(cdds), func(i int) []*Conflict {
+	perCDD := par.MapNamed("conflict.scan", len(cdds), func(i int) []*Conflict {
 		return scanCDD(res.Store, cdds[i], i, res)
 	})
 	var out []*Conflict

@@ -166,7 +166,7 @@ func (t *Tracker) UpdateUnder(parent uint64, id store.FactID) {
 			tasks = append(tasks, pinTask{ci: ci, ai: ai, seed: seed, plan: t.pinPlans[ci][ai]})
 		}
 	}
-	perTask := par.Map(len(tasks), func(i int) []*Conflict {
+	perTask := par.MapNamed("conflict.tracker", len(tasks), func(i int) []*Conflict {
 		return t.scanPinned(id, atom, tasks[i])
 	})
 	var added int64

@@ -264,7 +264,7 @@ func (pc *PiChecker) runFullChecks(pi Pi, fixes []Fix, full []int, out []bool) e
 			chunks = append(chunks, full[lo:hi])
 		}
 	}
-	errs := par.Map(len(chunks), func(g int) error {
+	errs := par.MapNamed("core.pi", len(chunks), func(g int) error {
 		return pc.checkChunk(pi, fixes, chunks[g], out)
 	})
 	for _, err := range errs {

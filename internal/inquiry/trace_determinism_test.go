@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"kbrepair/internal/obs"
+	"kbrepair/internal/obs/sched"
 	"kbrepair/internal/par"
 	"kbrepair/internal/synth"
 )
@@ -96,5 +97,83 @@ func TestTraceDeterministicAcrossWorkers(t *testing.T) {
 		}
 		t.Fatalf("workers=%d trace diverges from workers=1 at byte %d:\n--- workers=1\n…%s…\n--- workers=%d\n…%s…",
 			w, i, clip(base), w, clip(got))
+	}
+}
+
+// constClock returns the same instant on every reading. Unlike the
+// stepping traceClock it is safe to read from worker goroutines, which is
+// exactly what enabling sched recording adds: lane timestamps come from
+// the same injectable clock as spans, but lane records never enter the
+// trace stream, so the JSONL trace must stay byte-identical across worker
+// counts even with the recorder on.
+func constClock() func() time.Time {
+	at := time.UnixMicro(1_700_000_000_000_000).UTC()
+	return func() time.Time { return at }
+}
+
+// traceBytesWithClock is traceBytes with an injectable clock.
+func traceBytesWithClock(t *testing.T, workers int, clock func() time.Time) []byte {
+	t.Helper()
+	par.SetWorkers(workers)
+	var buf bytes.Buffer
+	sink := obs.NewJSONLSink(&buf)
+	tr := obs.DefaultTracer()
+	tr.ResetSeq()
+	tr.SetNow(clock)
+	obs.SetTraceSink(sink)
+	defer func() {
+		obs.SetTraceSink(nil)
+		tr.SetNow(nil)
+	}()
+
+	g, err := synth.Generate(synth.Params{
+		Seed:               9,
+		NumFacts:           120,
+		InconsistencyRatio: 0.25,
+		NumCDDs:            8,
+		NumTGDs:            4,
+		JoinVarRatio:       0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(g.KB, OptiMCD{}, NewSimulatedUser(17), 17, Options{})
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consistent {
+		t.Fatal("repair did not converge")
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestTraceDeterministicWithSchedEnabled pins the tentpole's no-trace-
+// perturbation contract: with lane recording on, worker goroutines read
+// the tracer clock for their lane stamps, but the span stream must not
+// change — byte-identical JSONL traces at -workers 1, 2 and 8. A constant
+// injected clock keeps the extra clock reads race-free and timestamp-
+// neutral; structure and emission order are still fully asserted.
+func TestTraceDeterministicWithSchedEnabled(t *testing.T) {
+	t.Cleanup(func() { par.SetWorkers(0) })
+	sched.Enable(0)
+	t.Cleanup(sched.Disable)
+	base := traceBytesWithClock(t, 1, constClock())
+	if !bytes.Contains(base, []byte(`"inquiry.question"`)) {
+		t.Fatal("trace has no question spans; test would be vacuous")
+	}
+	for _, w := range []int{2, 8} {
+		sched.Enable(0)
+		got := traceBytesWithClock(t, w, constClock())
+		if !bytes.Equal(got, base) {
+			t.Fatalf("workers=%d trace with sched enabled diverges from workers=1 (len %d vs %d)",
+				w, len(got), len(base))
+		}
+		if s := sched.Capture(); s.IntervalsTotal == 0 {
+			t.Fatalf("workers=%d: no lane intervals recorded; test would be vacuous", w)
+		}
 	}
 }

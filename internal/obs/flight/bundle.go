@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -18,6 +19,7 @@ import (
 
 	"kbrepair/internal/obs"
 	"kbrepair/internal/obs/attr"
+	"kbrepair/internal/obs/sched"
 	"kbrepair/internal/obs/traceview"
 )
 
@@ -91,6 +93,22 @@ type Bundle struct {
 	// the slowest recent questions with their waterfall decompositions.
 	// Present only when tracing was on at capture time (additive section).
 	Trace *traceview.Digest `json:"trace,omitempty"`
+	// Sched is the worker-lane snapshot: per-label utilization aggregates
+	// and recent lane intervals. Present only when sched recording was on
+	// at capture time (additive section).
+	Sched *sched.Snapshot `json:"sched,omitempty"`
+	// Runtime is a fresh runtime/metrics reading (goroutines, heap
+	// live/goal, GC pause and scheduling-latency quantiles) taken at
+	// capture time (additive section).
+	Runtime *sched.RuntimeStats `json:"runtime,omitempty"`
+	// HeapProfile, MutexProfile and BlockProfile hold the corresponding
+	// runtime/pprof profiles in their debug=1 text form — human-readable
+	// next to goroutines.txt, and mutex/block are empty-but-present unless
+	// -mutex-profile-fraction / -block-profile-rate enabled sampling
+	// (additive sections).
+	HeapProfile  string `json:"heap_profile,omitempty"`
+	MutexProfile string `json:"mutex_profile,omitempty"`
+	BlockProfile string `json:"block_profile,omitempty"`
 }
 
 // providers supply the KB-shaped sections the flight package cannot compute
@@ -165,12 +183,17 @@ func Capture(reason string) *Bundle {
 			Args:          os.Args,
 			Env:           CurrentEnv(),
 		},
-		Metrics:    obs.Default().Snapshot(),
-		Goroutines: allStacks(),
-		KBDigest:   marshalSection(digFn),
-		Journal:    marshalSection(jrnFn),
-		Attr:       attr.Capture(),
-		Trace:      captureTrace(),
+		Metrics:      obs.Default().Snapshot(),
+		Goroutines:   allStacks(),
+		KBDigest:     marshalSection(digFn),
+		Journal:      marshalSection(jrnFn),
+		Attr:         attr.Capture(),
+		Trace:        captureTrace(),
+		Sched:        sched.Capture(),
+		Runtime:      sched.ReadRuntime(),
+		HeapProfile:  profileText("heap"),
+		MutexProfile: profileText("mutex"),
+		BlockProfile: profileText("block"),
 	}
 	if r := Current(); r != nil {
 		events := r.Events()
@@ -199,7 +222,37 @@ func (b *Bundle) sections() []string {
 	if b.Trace != nil {
 		s = append(s, "trace.json")
 	}
+	if b.Sched != nil {
+		s = append(s, "sched.json")
+	}
+	if b.Runtime != nil {
+		s = append(s, "runtime.json")
+	}
+	if b.HeapProfile != "" {
+		s = append(s, "heap.pprof")
+	}
+	if b.MutexProfile != "" {
+		s = append(s, "mutex.pprof")
+	}
+	if b.BlockProfile != "" {
+		s = append(s, "block.pprof")
+	}
 	return s
+}
+
+// profileText renders a runtime/pprof profile in its debug=1 text form,
+// or "" when the profile does not exist. Safe from the signal-handler
+// goroutine: the pprof package serializes profile collection internally.
+func profileText(name string) string {
+	p := pprof.Lookup(name)
+	if p == nil {
+		return ""
+	}
+	var buf bytes.Buffer
+	if err := p.WriteTo(&buf, 1); err != nil {
+		return ""
+	}
+	return buf.String()
 }
 
 // BundleTraceQuestions is how many slowest question waterfalls a bundle's
@@ -245,6 +298,11 @@ func (b *Bundle) WriteJSON(w io.Writer) error {
 //	goroutines.txt  all goroutine stacks
 //	kb_digest.json  predicate/rule/conflict digest of the loaded KB (if set)
 //	journal.json    the inquiry journal so far (if set)
+//	sched.json      worker-lane snapshot (if sched recording was on)
+//	runtime.json    runtime/metrics reading at capture time
+//	heap.pprof      heap profile, debug=1 text form
+//	mutex.pprof     mutex contention profile (sampled only when enabled)
+//	block.pprof     block profile (sampled only when enabled)
 //
 // The directory is created if needed. Existing section files are
 // overwritten, so repeated dumps to the same directory keep the latest.
@@ -290,6 +348,29 @@ func (b *Bundle) WriteDir(dir string) error {
 			return fmt.Errorf("debug bundle: %w", err)
 		}
 		files["trace.json"] = append(traceData, '\n')
+	}
+	if b.Sched != nil {
+		schedData, err := json.MarshalIndent(b.Sched, "", "  ")
+		if err != nil {
+			return fmt.Errorf("debug bundle: %w", err)
+		}
+		files["sched.json"] = append(schedData, '\n')
+	}
+	if b.Runtime != nil {
+		rtData, err := json.MarshalIndent(b.Runtime, "", "  ")
+		if err != nil {
+			return fmt.Errorf("debug bundle: %w", err)
+		}
+		files["runtime.json"] = append(rtData, '\n')
+	}
+	if b.HeapProfile != "" {
+		files["heap.pprof"] = []byte(b.HeapProfile)
+	}
+	if b.MutexProfile != "" {
+		files["mutex.pprof"] = []byte(b.MutexProfile)
+	}
+	if b.BlockProfile != "" {
+		files["block.pprof"] = []byte(b.BlockProfile)
 	}
 	for name, data := range files {
 		if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
@@ -373,6 +454,29 @@ func ReadBundle(path string) (*Bundle, error) {
 			return nil, fmt.Errorf("debug bundle %s: trace: %w", path, err)
 		}
 		b.Trace = &d
+	}
+	if data, err := os.ReadFile(filepath.Join(path, "sched.json")); err == nil {
+		var s sched.Snapshot
+		if err := json.Unmarshal(data, &s); err != nil {
+			return nil, fmt.Errorf("debug bundle %s: sched: %w", path, err)
+		}
+		b.Sched = &s
+	}
+	if data, err := os.ReadFile(filepath.Join(path, "runtime.json")); err == nil {
+		var r sched.RuntimeStats
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, fmt.Errorf("debug bundle %s: runtime: %w", path, err)
+		}
+		b.Runtime = &r
+	}
+	if data, err := os.ReadFile(filepath.Join(path, "heap.pprof")); err == nil {
+		b.HeapProfile = string(data)
+	}
+	if data, err := os.ReadFile(filepath.Join(path, "mutex.pprof")); err == nil {
+		b.MutexProfile = string(data)
+	}
+	if data, err := os.ReadFile(filepath.Join(path, "block.pprof")); err == nil {
+		b.BlockProfile = string(data)
 	}
 	return &b, nil
 }

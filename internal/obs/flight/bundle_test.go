@@ -11,6 +11,7 @@ import (
 
 	"kbrepair/internal/obs"
 	"kbrepair/internal/obs/attr"
+	"kbrepair/internal/obs/sched"
 )
 
 func clearProviders(t *testing.T) {
@@ -361,5 +362,94 @@ func TestDumpOnTestFailure(t *testing.T) {
 	DumpOnTestFailure(1)
 	if entries, _ := os.ReadDir(other); len(entries) != 0 {
 		t.Fatal("bundle written with TestBundleEnv unset")
+	}
+}
+
+// TestBundleSchedAndRuntimeSections covers the parallel-efficiency
+// additions: a bundle captured with lane recording on carries the sched
+// snapshot, a runtime telemetry reading and the heap/mutex/block profiles,
+// and all of them survive both persistence forms.
+func TestBundleSchedAndRuntimeSections(t *testing.T) {
+	resetGlobal(t)
+	clearProviders(t)
+	Enable(32)
+	sched.Enable(0)
+	t.Cleanup(sched.Disable)
+	fo := sched.Begin("test.bundle", 2, 1)
+	for i := 0; i < 2; i++ {
+		t0 := fo.Start()
+		fo.Task(0, i, t0)
+	}
+	fo.End()
+
+	b := Capture("sched-sections")
+	if b.Sched == nil || !b.Sched.Enabled || len(b.Sched.Labels) != 1 {
+		t.Fatalf("sched section = %+v, want one-label snapshot", b.Sched)
+	}
+	if b.Runtime == nil || b.Runtime.Goroutines < 1 {
+		t.Fatalf("runtime section = %+v", b.Runtime)
+	}
+	if b.HeapProfile == "" || b.MutexProfile == "" || b.BlockProfile == "" {
+		t.Fatalf("profiles missing: heap %d, mutex %d, block %d bytes",
+			len(b.HeapProfile), len(b.MutexProfile), len(b.BlockProfile))
+	}
+	if !strings.Contains(b.HeapProfile, "heap profile") {
+		t.Errorf("heap profile not in debug text form: %.80s", b.HeapProfile)
+	}
+	for _, want := range []string{"sched.json", "runtime.json", "heap.pprof", "mutex.pprof", "block.pprof"} {
+		found := false
+		for _, s := range b.Sections {
+			if s == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("manifest sections missing %s (have %v)", want, b.Sections)
+		}
+	}
+
+	dir := filepath.Join(t.TempDir(), "bundle")
+	if err := b.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"sched.json", "runtime.json", "heap.pprof", "mutex.pprof", "block.pprof"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("bundle dir missing %s: %v", name, err)
+		}
+	}
+	got, err := ReadBundle(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sched == nil || got.Sched.FanoutsTotal != b.Sched.FanoutsTotal {
+		t.Errorf("sched section did not roundtrip: %+v", got.Sched)
+	}
+	if got.Runtime == nil || got.Runtime.GOMAXPROCS != b.Runtime.GOMAXPROCS {
+		t.Errorf("runtime section did not roundtrip: %+v", got.Runtime)
+	}
+	if got.HeapProfile != b.HeapProfile || got.MutexProfile != b.MutexProfile || got.BlockProfile != b.BlockProfile {
+		t.Error("profiles did not roundtrip through the bundle dir")
+	}
+}
+
+// TestBundleOmitsSchedWhenDisabled pins the additive-section contract:
+// with lane recording off the sched section is absent, while runtime
+// telemetry and profiles (always available) are still captured.
+func TestBundleOmitsSchedWhenDisabled(t *testing.T) {
+	resetGlobal(t)
+	clearProviders(t)
+	Enable(32)
+	sched.Disable()
+	b := Capture("no-sched")
+	if b.Sched != nil {
+		t.Errorf("sched section = %+v with recording disabled, want nil", b.Sched)
+	}
+	for _, s := range b.Sections {
+		if s == "sched.json" {
+			t.Error("manifest lists sched.json with recording disabled")
+		}
+	}
+	if b.Runtime == nil || b.HeapProfile == "" {
+		t.Error("runtime/profile sections should not depend on lane recording")
 	}
 }

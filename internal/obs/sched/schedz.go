@@ -1,0 +1,130 @@
+package sched
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+
+	"kbrepair/internal/obs"
+)
+
+// schedzPayload is what /schedz serves: the lane snapshot (or just
+// {"enabled": false}) plus a fresh runtime/metrics reading.
+type schedzPayload struct {
+	Enabled bool          `json:"enabled"`
+	Sched   *Snapshot     `json:"sched,omitempty"`
+	Runtime *RuntimeStats `json:"runtime"`
+}
+
+// SchedzHandler serves the live parallel-efficiency view as JSON:
+// per-label utilization aggregates, the recent lane intervals (bounded
+// by ?intervals=N, default 64) and current runtime telemetry.
+func SchedzHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		p := schedzPayload{Runtime: ReadRuntime()}
+		if s := Capture(); s != nil {
+			keep := 64
+			if q := req.URL.Query().Get("intervals"); q != "" {
+				if n, err := strconv.Atoi(q); err == nil && n >= 0 {
+					keep = n
+				}
+			}
+			if len(s.Intervals) > keep {
+				s.Intervals = s.Intervals[len(s.Intervals)-keep:]
+			}
+			p.Enabled = true
+			p.Sched = s
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(p)
+	})
+}
+
+func init() {
+	obs.RegisterDebugHandler("/schedz", SchedzHandler())
+	obs.RegisterPromAppender(writeRuntimeProm)
+}
+
+// Config is the scheduling-observability surface the CLIs expose.
+type Config struct {
+	// SchedPath, when non-empty, enables lane recording and writes the
+	// final Snapshot there as JSON at flush time.
+	SchedPath string
+}
+
+// AddFlags registers the shared -sched flag on fs, mirroring obs.AddFlags
+// so all CLIs expose an identical surface. Pass the result to SetupCLI
+// after fs is parsed.
+func AddFlags(fs *flag.FlagSet) *Config {
+	c := &Config{}
+	fs.StringVar(&c.SchedPath, "sched", "",
+		"record worker-lane timelines and write the scheduling snapshot as JSON to this file on exit")
+	return c
+}
+
+// SetupCLI wires the sched layer for a CLI: lane recording turns on when
+// -sched was given or the debug server is up (so /schedz has data), and
+// the runtime/metrics poller runs whenever any observability output is
+// live. The returned flush stops the poller and writes the -sched
+// snapshot; call it once on exit. The output file is created eagerly so
+// an unwritable path fails before any work is done.
+func SetupCLI(c Config, obsCfg obs.CLIConfig) (flush func() error, err error) {
+	var out *os.File
+	if c.SchedPath != "" {
+		out, err = os.Create(c.SchedPath)
+		if err != nil {
+			return nil, fmt.Errorf("sched output: %w", err)
+		}
+	}
+	if c.SchedPath != "" || obsCfg.PprofAddr != "" {
+		Enable(0)
+	}
+	var poller *RuntimePoller
+	if c.SchedPath != "" || obsCfg.Enabled() {
+		every := obsCfg.SampleEvery
+		if every <= 0 {
+			every = obs.DefaultSampleEvery
+		}
+		poller = StartRuntimePoller(every)
+	}
+	return func() error {
+		poller.Stop()
+		if out == nil {
+			return nil
+		}
+		var first error
+		keep := func(err error) {
+			if err != nil && first == nil {
+				first = fmt.Errorf("sched output: %w", err)
+			}
+		}
+		s := Capture()
+		if s == nil {
+			s = &Snapshot{}
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		keep(enc.Encode(s))
+		keep(out.Close())
+		return first
+	}, nil
+}
+
+// ReadSnapshotFile loads a Snapshot written by SetupCLI's flush (the
+// -sched output) — what kbtrace -sched consumes.
+func ReadSnapshotFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("sched snapshot: %w", err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("sched snapshot %s: %w", path, err)
+	}
+	return &s, nil
+}

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 )
 
@@ -37,6 +38,14 @@ type CLIConfig struct {
 	// SampleEvery is the periodic sampling interval for TimeseriesPath;
 	// <= 0 disables the ticker, leaving only forced marks.
 	SampleEvery time.Duration
+	// MutexFraction, when > 0, is passed to runtime.SetMutexProfileFraction
+	// so the mutex profile (pprof and debug bundles) samples contended
+	// lock acquisitions: 1 records every contention event, N one in N.
+	MutexFraction int
+	// BlockRate, when > 0, is passed to runtime.SetBlockProfileRate: one
+	// blocking event per BlockRate nanoseconds blocked is sampled into the
+	// block profile.
+	BlockRate int
 }
 
 // AddFlags registers the shared observability flags on fs and returns the
@@ -50,6 +59,10 @@ func AddFlags(fs *flag.FlagSet) *CLIConfig {
 	fs.StringVar(&c.PprofAddr, "pprof", "", "serve pprof/expvar/metrics debug handlers on this address (e.g. localhost:6060)")
 	fs.StringVar(&c.TimeseriesPath, "timeseries", "", "stream periodic JSON-lines metric samples to this file")
 	fs.DurationVar(&c.SampleEvery, "sample-interval", c.SampleEvery, "sampling interval for -timeseries")
+	fs.IntVar(&c.MutexFraction, "mutex-profile-fraction", 0,
+		"sample 1/N of mutex contention events into the mutex profile (0 disables; see runtime.SetMutexProfileFraction)")
+	fs.IntVar(&c.BlockRate, "block-profile-rate", 0,
+		"sample one blocking event per N nanoseconds blocked into the block profile (0 disables; see runtime.SetBlockProfileRate)")
 	return c
 }
 
@@ -57,6 +70,8 @@ func AddFlags(fs *flag.FlagSet) *CLIConfig {
 // fs has been parsed. It rejects an explicitly passed non-positive
 // -sample-interval (the zero default means "ticker off" internally, but a
 // user typing -sample-interval 0 almost certainly wanted sampling), an
+// explicitly passed negative -mutex-profile-fraction or
+// -block-profile-rate (0 is a valid "off"), an
 // explicitly passed -flight-events of 0 (the default 0 means "autosize
 // from the KB"; a user typing it either wanted the autosize — omit the
 // flag — or to disable the recorder, which is any negative value) or above
@@ -81,6 +96,12 @@ func ValidateFlags(fs *flag.FlagSet, positiveInts ...string) error {
 			if g, ok := f.Value.(flag.Getter); ok {
 				if d, ok := g.Get().(time.Duration); ok && d <= 0 {
 					first = fmt.Errorf("-sample-interval must be positive, got %v", d)
+				}
+			}
+		case f.Name == "mutex-profile-fraction" || f.Name == "block-profile-rate":
+			if g, ok := f.Value.(flag.Getter); ok {
+				if n, ok := g.Get().(int); ok && n < 0 {
+					first = fmt.Errorf("-%s must be non-negative, got %d", f.Name, n)
 				}
 			}
 		case f.Name == "flight-events":
@@ -167,6 +188,15 @@ func SetupCLI(c CLIConfig) (flush func() error, err error) {
 		if _, err := ServeDebug(c.PprofAddr); err != nil {
 			return fail(fmt.Errorf("pprof server: %w", err))
 		}
+	}
+	// Contention capture is opt-in: sampling contended locks costs a
+	// little on every contended acquisition, so the rates stay 0 unless
+	// the user asks. The profiles land in pprof and debug bundles.
+	if c.MutexFraction > 0 {
+		runtime.SetMutexProfileFraction(c.MutexFraction)
+	}
+	if c.BlockRate > 0 {
+		runtime.SetBlockProfileRate(c.BlockRate)
 	}
 	if c.MetricsPath != "" || c.TracePath != "" || c.TimeseriesPath != "" {
 		SetEnabled(true)

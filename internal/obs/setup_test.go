@@ -53,6 +53,21 @@ func TestValidateFlags(t *testing.T) {
 			args:    []string{"-flight-events", "16777217"},
 			wantErr: "-flight-events must be at most 16777216",
 		},
+		// Contention-profiling knobs: 0 (the default) means off, positive
+		// sets the sampling rate, negative is nonsense.
+		{name: "mutex fraction positive", args: []string{"-mutex-profile-fraction", "5"}},
+		{name: "mutex fraction explicit zero", args: []string{"-mutex-profile-fraction", "0"}},
+		{
+			name:    "mutex fraction negative",
+			args:    []string{"-mutex-profile-fraction", "-1"},
+			wantErr: "-mutex-profile-fraction must be non-negative",
+		},
+		{name: "block rate positive", args: []string{"-block-profile-rate", "1000"}},
+		{
+			name:    "block rate negative",
+			args:    []string{"-block-profile-rate", "-5"},
+			wantErr: "-block-profile-rate must be non-negative",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

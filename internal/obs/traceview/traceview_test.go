@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"kbrepair/internal/obs"
+	"kbrepair/internal/obs/sched"
 )
 
 // fixture is a hand-built two-question trace in JSONL form (completion
@@ -211,5 +212,55 @@ func TestTracezHandler(t *testing.T) {
 	TracezHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/tracez?n=-1", nil))
 	if rec.Code != 400 {
 		t.Errorf("bad n: code = %d, want 400", rec.Code)
+	}
+}
+
+func TestWriteChromeWithLanes(t *testing.T) {
+	f := parseFixture(t)
+	lanes := []sched.Interval{
+		{Fanout: 1, Label: "conflict.scan", Lane: 0, Task: 0, StartUS: 1000, EndUS: 1100},
+		{Fanout: 1, Label: "conflict.scan", Lane: 1, Task: 1, StartUS: 1005, EndUS: 1150},
+		{Fanout: 2, Label: "chase.spec", Lane: 0, Task: 0, StartUS: 1600, EndUS: 1700},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeWithLanes(&buf, f, lanes); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateChrome(buf.Bytes())
+	if err != nil {
+		t.Fatalf("lane-extended chrome output fails validation: %v", err)
+	}
+	// 10 spans + 1 event + 3 lane intervals + 2 thread_name metadata records.
+	if n != 16 {
+		t.Fatalf("ValidateChrome counted %d events, want 16", n)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`"tid": 100`, `"tid": 101`, // lane rows offset by laneTIDBase
+		`"worker lane 0"`, `"worker lane 1"`, // thread_name metadata
+		`"fanout": 2`, `"ph": "M"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chrome output missing %s", want)
+		}
+	}
+	// Without lanes, WriteChrome output is unchanged by the extension.
+	var plain bytes.Buffer
+	if err := WriteChrome(&plain, f); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), `"ph": "M"`) {
+		t.Error("plain WriteChrome emits lane metadata")
+	}
+}
+
+func TestValidateChromeAcceptsMetadataPhase(t *testing.T) {
+	ok := `{"traceEvents":[{"name":"thread_name","ph":"M","pid":1,"tid":100}]}`
+	if n, err := ValidateChrome([]byte(ok)); err != nil || n != 1 {
+		t.Fatalf("metadata record rejected: n=%d err=%v", n, err)
+	}
+	bad := `{"traceEvents":[{"name":"x","ph":"Q","pid":1,"tid":1}]}`
+	if _, err := ValidateChrome([]byte(bad)); err == nil {
+		t.Fatal("unsupported phase accepted")
 	}
 }

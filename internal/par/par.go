@@ -30,6 +30,7 @@ import (
 
 	"kbrepair/internal/obs"
 	"kbrepair/internal/obs/flight"
+	"kbrepair/internal/obs/sched"
 )
 
 // Pool instrumentation: tasks executed, the configured pool size, and the
@@ -91,18 +92,33 @@ func Configure(n *int) { SetWorkers(*n) }
 //
 // If any task panics, Do panics on the calling goroutine with the first
 // panic value after all workers have stopped.
-func Do(n int, fn func(i int)) {
+func Do(n int, fn func(i int)) { DoNamed("par.do", n, fn) }
+
+// DoNamed is Do with a fan-out label: the phase name the sched lane
+// recorder aggregates under ("chase.spec", "conflict.scan", …), which
+// becomes the per-phase row of kbbench's efficiency report. The label
+// changes no execution behavior — lane recording is observability-only,
+// nil-cost when disabled, and its records never enter the trace stream,
+// so output stays byte-identical at every worker count.
+func DoNamed(label string, n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
 	mTasks.Add(int64(n))
 	w := Workers()
+	// Keep the pool gauge fresh: with -workers unset the effective size
+	// tracks runtime.GOMAXPROCS, which can change after package init.
+	gWorkers.Set(int64(w))
 	if w > n {
 		w = n
 	}
+	fo := sched.Begin(label, n, w)
+	defer fo.End() // balances Begin on every exit path, panics included
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			t0 := fo.Start()
 			fn(i)
+			fo.Task(0, i, t0)
 		}
 		return
 	}
@@ -126,6 +142,7 @@ func Do(n int, fn func(i int)) {
 					return
 				}
 				mQueueWait.Since(enq)
+				t0 := fo.Start()
 				func() {
 					defer func() {
 						if r := recover(); r != nil {
@@ -136,6 +153,9 @@ func Do(n int, fn func(i int)) {
 					}()
 					fn(i)
 				}()
+				// The lane interval closes even for a panicked task — the
+				// recover above already fired — keeping busy records balanced.
+				fo.Task(g, i, t0)
 			}
 		}()
 	}
@@ -148,8 +168,11 @@ func Do(n int, fn func(i int)) {
 // Map runs fn over 0 … n-1 in parallel and returns the results in task
 // order — the deterministic fan-out/fan-in shape every parallel stage of
 // the pipeline uses.
-func Map[T any](n int, fn func(i int) T) []T {
+func Map[T any](n int, fn func(i int) T) []T { return MapNamed("par.do", n, fn) }
+
+// MapNamed is Map with a sched fan-out label; see DoNamed.
+func MapNamed[T any](label string, n int, fn func(i int) T) []T {
 	out := make([]T, n)
-	Do(n, func(i int) { out[i] = fn(i) })
+	DoNamed(label, n, func(i int) { out[i] = fn(i) })
 	return out
 }

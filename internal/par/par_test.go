@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+
+	"kbrepair/internal/obs/sched"
 )
 
 // withWorkers pins the pool size for the duration of a test.
@@ -136,5 +138,148 @@ func TestDoConcurrentFanOuts(t *testing.T) {
 	}
 	for g := 0; g < 4; g++ {
 		<-done
+	}
+}
+
+// withSched installs a fresh lane recorder for one test.
+func withSched(t *testing.T) {
+	t.Helper()
+	sched.Enable(0)
+	t.Cleanup(sched.Disable)
+}
+
+// TestDoLaneBalanceAcrossWorkerCounts checks the tentpole balance
+// invariant: at every worker count, each task produces exactly one lane
+// interval, every fan-out is closed, and lanes stay inside [0, workers).
+func TestDoLaneBalanceAcrossWorkerCounts(t *testing.T) {
+	for _, w := range []int{1, 2, 8} {
+		withWorkers(t, w)
+		withSched(t)
+		const n = 40
+		DoNamed("test.balance", n, func(i int) {})
+		s := sched.Capture()
+		if s == nil {
+			t.Fatal("sched.Capture() = nil with recording enabled")
+		}
+		if s.OpenFanouts != 0 || s.AbortedFanouts != 0 {
+			t.Fatalf("workers=%d: open %d aborted %d, want 0/0", w, s.OpenFanouts, s.AbortedFanouts)
+		}
+		if s.IntervalsRetained != n {
+			t.Fatalf("workers=%d: %d intervals retained, want %d", w, s.IntervalsRetained, n)
+		}
+		seen := make(map[int]int, n)
+		effW := w
+		if effW > n {
+			effW = n
+		}
+		for _, iv := range s.Intervals {
+			if iv.Label != "test.balance" {
+				t.Fatalf("workers=%d: interval label %q", w, iv.Label)
+			}
+			if iv.Lane < 0 || iv.Lane >= effW {
+				t.Fatalf("workers=%d: lane %d outside [0,%d)", w, iv.Lane, effW)
+			}
+			if iv.EndUS < iv.StartUS {
+				t.Fatalf("workers=%d: interval ends before it starts: %+v", w, iv)
+			}
+			seen[iv.Task]++
+		}
+		for i := 0; i < n; i++ {
+			if seen[i] != 1 {
+				t.Fatalf("workers=%d: task %d recorded %d times, want 1", w, i, seen[i])
+			}
+		}
+		if len(s.Labels) != 1 || s.Labels[0].Tasks != n || s.Labels[0].Fanouts != 1 {
+			t.Fatalf("workers=%d: label agg = %+v", w, s.Labels)
+		}
+	}
+}
+
+// TestDoLaneBalanceUnderPanic checks that panic propagation never leaves a
+// fan-out open. On the threaded path the per-task recover runs before the
+// lane interval closes, so the books balance exactly; on the inline path
+// the unwind skips the remaining tasks and the deferred End records the
+// fan-out as aborted instead.
+func TestDoLaneBalanceUnderPanic(t *testing.T) {
+	run := func(w int) *sched.Snapshot {
+		withWorkers(t, w)
+		withSched(t)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("workers=%d: panic not propagated", w)
+				}
+			}()
+			DoNamed("test.panic", 16, func(i int) {
+				if i == 7 {
+					panic("boom")
+				}
+			})
+		}()
+		return sched.Capture()
+	}
+
+	s := run(8)
+	if s.OpenFanouts != 0 {
+		t.Fatalf("threaded: %d fan-outs left open after panic", s.OpenFanouts)
+	}
+	if s.AbortedFanouts != 0 || s.Labels[0].Tasks != 16 {
+		t.Fatalf("threaded: aborted %d tasks %d, want 0/16 (recover closes every interval)",
+			s.AbortedFanouts, s.Labels[0].Tasks)
+	}
+
+	s = run(1)
+	if s.OpenFanouts != 0 {
+		t.Fatalf("inline: %d fan-outs left open after panic", s.OpenFanouts)
+	}
+	if s.AbortedFanouts != 1 {
+		t.Fatalf("inline: aborted = %d, want 1 (unwind skips remaining tasks)", s.AbortedFanouts)
+	}
+}
+
+// TestDoRefreshesWorkersGauge pins the satellite fix: with -workers unset
+// the par.workers gauge must track GOMAXPROCS changes made after package
+// init, refreshed on each Do.
+func TestDoRefreshesWorkersGauge(t *testing.T) {
+	withWorkers(t, 0)
+	old := runtime.GOMAXPROCS(0)
+	runtime.GOMAXPROCS(3)
+	defer func() {
+		runtime.GOMAXPROCS(old)
+		gWorkers.Set(int64(Workers()))
+	}()
+	Do(4, func(int) {})
+	if got := gWorkers.Value(); got != 3 {
+		t.Errorf("par.workers gauge = %d after GOMAXPROCS(3)+Do, want 3", got)
+	}
+}
+
+// TestDoNamedDisabledSchedAllocs guards the inline fast path end to end:
+// with recording off and one worker, a whole DoNamed fan-out allocates
+// nothing.
+func TestDoNamedDisabledSchedAllocs(t *testing.T) {
+	sched.Disable()
+	withWorkers(t, 1)
+	fn := func(int) {}
+	allocs := testing.AllocsPerRun(100, func() {
+		DoNamed("test.alloc", 4, fn)
+	})
+	if allocs != 0 {
+		t.Errorf("inline DoNamed with sched disabled allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func TestMapNamedMatchesMap(t *testing.T) {
+	withWorkers(t, 4)
+	withSched(t)
+	got := MapNamed("test.map", 16, func(i int) int { return i * 3 })
+	for i, v := range got {
+		if v != i*3 {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+	s := sched.Capture()
+	if len(s.Labels) != 1 || s.Labels[0].Label != "test.map" {
+		t.Fatalf("labels = %+v, want test.map", s.Labels)
 	}
 }
