@@ -5,7 +5,7 @@ GO ?= go
 BENCH_ARGS ?= -exp fig3 -scale 0.25 -reps 3 -seed 1
 BENCH_THRESHOLD ?= 1.25
 
-.PHONY: build test verify verify2 bench bench-check bench-check-report bench-go bench-smoke bench-workers bench-workers-smoke bundle-smoke trace-smoke sched-smoke ci
+.PHONY: build test verify verify2 bench bench-check bench-check-report bench-go bench-smoke bench-workers bench-workers-smoke bench-plans-smoke bundle-smoke trace-smoke sched-smoke ci
 
 build:
 	$(GO) build ./...
@@ -79,6 +79,17 @@ bench-workers-smoke:
 		-baseline results/bench_workers_smoke1.json -threshold 1.0 -regress-ok
 	rm -f results/bench_workers_smoke1.json results/bench_workers_smoke4.json
 
+# bench-plans-smoke is the plan-quality gate: -plans-check makes kbbench
+# fail when any profiled body ran without a compiled-plan annotation or
+# silently fell back to the legacy adaptive kernel (adaptive is only legal
+# when a caller forces it, e.g. the comparison benchmarks). The grep then
+# asserts the mode annotations actually reached the report.
+bench-plans-smoke:
+	rm -rf smoke-plans && mkdir -p smoke-plans
+	$(GO) run ./cmd/kbbench -exp fig3 -scale 0.1 -reps 1 -seed 1 \
+		-json smoke-plans/bench.json -plans-check
+	grep -q '"mode"' smoke-plans/bench.json
+
 # bundle-smoke exercises the post-mortem pipeline end to end: generate a
 # KB, repair it with an exit debug bundle and a recorded journal, then
 # validate that the bundle parses and renders with kbdump (including the
@@ -123,4 +134,4 @@ sched-smoke:
 
 # ci is the whole gate in one target, mirroring .github/workflows/ci.yml
 # for environments without Actions.
-ci: verify verify2 bench-smoke bench-check-report bundle-smoke trace-smoke sched-smoke
+ci: verify verify2 bench-smoke bench-check-report bench-plans-smoke bundle-smoke trace-smoke sched-smoke

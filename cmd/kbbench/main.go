@@ -42,6 +42,7 @@ func main() {
 		threshold = flag.Float64("threshold", 1.25, "regression threshold for -baseline: fail when new mean > old mean x this")
 		regressOK = flag.Bool("regress-ok", false, "with -baseline: report regressions but exit zero (CI report-only mode)")
 		effCheck  = flag.Bool("efficiency-check", false, "with -json/-baseline: fail unless the efficiency section exists, its numbers are internally consistent and lane events balanced (the sched-smoke gate)")
+		plnCheck  = flag.Bool("plans-check", false, "with -json/-baseline: fail unless every profiled body carries a compiled-plan annotation and none silently fell back to the adaptive kernel (the bench-plans-smoke gate)")
 	)
 	obsCfg := obs.AddFlags(flag.CommandLine)
 	flightCfg := flight.AddFlags(flag.CommandLine)
@@ -95,6 +96,7 @@ func main() {
 		snap := obs.Default().Snapshot()
 		rep := exp.NewBenchReport(label, snap)
 		rep.Profile = exp.BuildProfile(attr.Capture(), snap)
+		exp.WriteProfile(out, rep.Profile)
 		rep.Trace = exp.BuildTraceSummary(benchRing.Records(), benchRing.Total())
 		var queueWait float64
 		if h, ok := snap.Histograms["par.queue_wait_seconds"]; ok {
@@ -107,11 +109,16 @@ func main() {
 				runErr = err
 			}
 		}
+		if runErr == nil && *plnCheck {
+			runErr = exp.CheckPlans(rep.Profile)
+		}
 		if runErr == nil {
 			runErr = benchBaseline(out, rep, *benchJSON, *baseline, *threshold, *regressOK)
 		}
 	} else if *effCheck && runErr == nil {
 		runErr = fmt.Errorf("-efficiency-check requires -json or -baseline")
+	} else if *plnCheck && runErr == nil {
+		runErr = fmt.Errorf("-plans-check requires -json or -baseline")
 	}
 	if err := out.Flush(); err != nil && runErr == nil {
 		runErr = fmt.Errorf("writing output: %w", err)

@@ -26,6 +26,7 @@ import (
 
 	"kbrepair/internal/core"
 	"kbrepair/internal/exp"
+	"kbrepair/internal/homo"
 	"kbrepair/internal/inquiry"
 	"kbrepair/internal/obs/attr"
 	"kbrepair/internal/obs/flight"
@@ -348,7 +349,11 @@ func writeAnomalies(w io.Writer, events []event) {
 
 // writeProfile renders the per-rule plan-quality table from the bundle's
 // attribution snapshot: the most expensive bodies first, so "which rule is
-// slow?" is the first line.
+// slow?" is the first line. When the bundle carries a plans.json section,
+// each row is joined to its compiled-plan annotation — the kernel mode and
+// the compile-time join order the body actually ran with. The join uses the
+// bundle, not the live registry: a bundle describes the process that wrote
+// it, not this one.
 func writeProfile(w io.Writer, b *flight.Bundle, top int) {
 	fmt.Fprintln(w, "== Profile ==")
 	if b.Attr == nil {
@@ -366,20 +371,43 @@ func writeProfile(w io.Writer, b *flight.Bundle, top int) {
 		fmt.Fprintln(w)
 		return
 	}
-	fmt.Fprintf(w, "  %-40s %9s %12s %10s %12s %9s %9s %6s\n",
-		"body", "searches", "nodes", "med.nodes", "probes", "matches", "seconds", "share")
+	plans := bundlePlans(b)
+	fmt.Fprintf(w, "  %-40s %-8s %9s %12s %10s %12s %9s %9s %6s  %s\n",
+		"body", "mode", "searches", "nodes", "med.nodes", "probes", "matches", "seconds", "share", "order")
 	for _, r := range rows {
 		body := r.Body
 		if len(body) > 40 {
 			body = body[:37] + "..."
 		}
-		fmt.Fprintf(w, "  %-40s %9d %12d %10.0f %12d %9d %9.3f %5.1f%%\n",
-			body, r.Searches, r.Nodes, r.MedianNodes, r.Probes, r.Matches, r.Seconds, r.TimeShare*100)
+		mode, order := "-", ""
+		if pi, ok := plans[r.Body]; ok {
+			mode, order = pi.Mode, pi.OrderString()
+		}
+		fmt.Fprintf(w, "  %-40s %-8s %9d %12d %10.0f %12d %9d %9.3f %5.1f%%  %s\n",
+			body, mode, r.Searches, r.Nodes, r.MedianNodes, r.Probes, r.Matches, r.Seconds, r.TimeShare*100, order)
 	}
 	if len(all) > len(rows) {
 		fmt.Fprintf(w, "  ... %d more bodies elided (-top)\n", len(all)-len(rows))
 	}
 	fmt.Fprintln(w)
+}
+
+// bundlePlans decodes the bundle's plans.json section into a body-keyed map.
+// A missing or unreadable section yields an empty map: the profile degrades
+// to unannotated rows instead of failing the whole report.
+func bundlePlans(b *flight.Bundle) map[string]homo.PlanInfo {
+	plans := map[string]homo.PlanInfo{}
+	if len(b.Plans) == 0 {
+		return plans
+	}
+	var infos []homo.PlanInfo
+	if err := json.Unmarshal(b.Plans, &infos); err != nil {
+		return plans
+	}
+	for _, pi := range infos {
+		plans[pi.Body] = pi
+	}
+	return plans
 }
 
 func writeTimeline(w io.Writer, events []event, tail int) {

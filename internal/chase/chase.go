@@ -222,6 +222,33 @@ func (o Options) maxRounds() int {
 	return o.MaxRounds
 }
 
+// PrecompilePlans warms the process-wide homomorphism plan cache for every
+// conjunction the pipeline derives from the rules — TGD bodies, TGD heads
+// (seed-specialized on the frontier variables, which every head check binds),
+// CDD bodies and the memoized ⊥-rules — against a representative store.
+//
+// The join order of a plan binds at its first compile, so this must run at a
+// deterministic sequential point before any parallel fan-out can compile as
+// a side effect: the Π-check worker pool chases clone stores that differ by
+// the fix under test, and letting the first compile race there would tie the
+// chosen order (and the resulting node counts) to worker scheduling.
+func PrecompilePlans(base *store.Store, tgds []*logic.TGD, cdds []*logic.CDD) {
+	rules := tgds
+	if len(cdds) > 0 {
+		rules = append(append([]*logic.TGD(nil), tgds...), CompileBottom(cdds)...)
+	}
+	for _, r := range rules {
+		homo.CachedPlanWith(homo.CacheKey{Owner: r, Tag: homo.TagBody}, r.Body,
+			homo.CompileOpts{Stats: base})
+		homo.CachedPlanWith(homo.CacheKey{Owner: r, Tag: homo.TagHead}, r.Head,
+			homo.CompileOpts{Stats: base, Prebound: r.FrontierVars()})
+	}
+	for _, c := range cdds {
+		homo.CachedPlanWith(homo.CacheKey{Owner: c, Tag: homo.TagBody}, c.Body,
+			homo.CompileOpts{Stats: base})
+	}
+}
+
 // Run computes the restricted chase of the base store under the given TGDs.
 // The base store is not modified; the result store is a clone extended with
 // derived facts. A trigger (rule, body homomorphism) fires only if the head
@@ -307,11 +334,16 @@ func chaseLoop(base *store.Store, tgds []*logic.TGD, opts Options, abortPred str
 	budget := opts.maxDerived()
 
 	// Per-rule invariants hoisted out of the round loop: FrontierVars and
-	// ExistentialVars compute fresh slices on every call, and the deduped
-	// head-predicate list drives the commit-phase revalidation test.
+	// ExistentialVars compute fresh slices on every call, the deduped
+	// head-predicate list drives the commit-phase revalidation test, and the
+	// body/head plans are resolved once per run so the per-trigger hot path
+	// never rebuilds a cache key. Head plans are seed-specialized on the
+	// frontier variables — every applicability check binds exactly those.
 	front := make([][]logic.Term, len(tgds))
 	exist := make([][]logic.Term, len(tgds))
 	headPreds := make([][]string, len(tgds))
+	bodyPlans := make([]*homo.Plan, len(tgds))
+	headPlans := make([]*homo.Plan, len(tgds))
 	for i, r := range tgds {
 		front[i] = r.FrontierVars()
 		exist[i] = r.ExistentialVars()
@@ -322,6 +354,10 @@ func chaseLoop(base *store.Store, tgds []*logic.TGD, opts Options, abortPred str
 				headPreds[i] = append(headPreds[i], h.Pred)
 			}
 		}
+		bodyPlans[i] = homo.CachedPlanWith(homo.CacheKey{Owner: r, Tag: homo.TagBody}, r.Body,
+			homo.CompileOpts{Stats: s})
+		headPlans[i] = homo.CachedPlanWith(homo.CacheKey{Owner: r, Tag: homo.TagHead}, r.Head,
+			homo.CompileOpts{Stats: s, Prebound: front[i]})
 	}
 
 	for len(delta) > 0 {
@@ -344,7 +380,7 @@ func chaseLoop(base *store.Store, tgds []*logic.TGD, opts Options, abortPred str
 		}
 		all := res.Rounds == 1
 		perRule := par.MapNamed("chase.collect", len(tgds), func(i int) []homo.Match {
-			return collectTriggers(s, tgds[i], all, deltaSet)
+			return collectTriggers(s, bodyPlans[i], all, deltaSet)
 		})
 		// Every trigger surviving the delta filter in round ≥ 2 involves a
 		// fact from the previous round's delta: it was deferred across the
@@ -377,7 +413,7 @@ func chaseLoop(base *store.Store, tgds []*logic.TGD, opts Options, abortPred str
 		}
 		specs := par.MapNamed("chase.spec", len(flatRule), func(k int) specFiring {
 			ri, ti := flatRule[k], flatTrig[k]
-			return speculate(s, tgds[ri], rids[ri], perRule[ri][ti], res.Rounds, ri, ti, front[ri], exist[ri])
+			return speculate(s, tgds[ri], headPlans[ri], rids[ri], perRule[ri][ti], res.Rounds, ri, ti, front[ri], exist[ri])
 		})
 
 		// Phase 3 — sequential commit in the same (rule, trigger) order the
@@ -402,7 +438,7 @@ func chaseLoop(base *store.Store, tgds []*logic.TGD, opts Options, abortPred str
 			}
 			if overlap {
 				mSpecReval.Inc()
-				if homo.CachedPlan(homo.CacheKey{Owner: rule, Tag: homo.TagHead}, rule.Head).ExistsSeeded(s, f.frontier) {
+				if headPlans[ri].ExistsSeeded(s, f.frontier) {
 					mSpecRejected.Inc()
 					continue
 				}
@@ -457,9 +493,8 @@ func chaseLoop(base *store.Store, tgds []*logic.TGD, opts Options, abortPred str
 // at least one body atom onto a delta fact. It only reads the store, so the
 // per-rule calls of one round may run concurrently. Matches are cloned
 // because the store is mutated later, while firing.
-func collectTriggers(s *store.Store, rule *logic.TGD, all bool, deltaSet map[store.FactID]bool) []homo.Match {
+func collectTriggers(s *store.Store, plan *homo.Plan, all bool, deltaSet map[store.FactID]bool) []homo.Match {
 	var out []homo.Match
-	plan := homo.CachedPlan(homo.CacheKey{Owner: rule, Tag: homo.TagBody}, rule.Body)
 	plan.ForEach(s, func(m homo.Match) bool {
 		if !all {
 			hit := false
@@ -496,11 +531,11 @@ type specFiring struct {
 // per-search state in a pool). Invented nulls are named by the firing
 // coordinate via store.NullForCoord, so their labels do not depend on which
 // other triggers fire, or in what order.
-func speculate(s *store.Store, rule *logic.TGD, rid attr.ID, m homo.Match, round, ri, ti int, front, exist []logic.Term) specFiring {
+func speculate(s *store.Store, rule *logic.TGD, headPlan *homo.Plan, rid attr.ID, m homo.Match, round, ri, ti int, front, exist []logic.Term) specFiring {
 	mTriggers.Inc()
 	attrTriggers.Add(rid, 1)
 	frontier := m.Subst.Restrict(front)
-	if homo.CachedPlan(homo.CacheKey{Owner: rule, Tag: homo.TagHead}, rule.Head).ExistsSeeded(s, frontier) {
+	if headPlan.ExistsSeeded(s, frontier) {
 		return specFiring{}
 	}
 	mSpecFirings.Inc()
@@ -527,7 +562,8 @@ func IsConsistentNaive(base *store.Store, tgds []*logic.TGD, cdds []*logic.CDD, 
 		return false, err
 	}
 	for _, c := range cdds {
-		if homo.CachedPlan(homo.CacheKey{Owner: c, Tag: homo.TagBody}, c.Body).Exists(res.Store) {
+		if homo.CachedPlanWith(homo.CacheKey{Owner: c, Tag: homo.TagBody}, c.Body,
+			homo.CompileOpts{Stats: res.Store}).Exists(res.Store) {
 			return false, nil
 		}
 	}
@@ -622,7 +658,8 @@ func RelevantTGDs(tgds []*logic.TGD, cdds []*logic.CDD) []*logic.TGD {
 func IsConsistentOpt(base *store.Store, tgds []*logic.TGD, cdds []*logic.CDD, opts Options) (bool, error) {
 	// Fast path: a CDD already violated by the base facts needs no chase.
 	for _, c := range cdds {
-		if homo.CachedPlan(homo.CacheKey{Owner: c, Tag: homo.TagBody}, c.Body).Exists(base) {
+		if homo.CachedPlanWith(homo.CacheKey{Owner: c, Tag: homo.TagBody}, c.Body,
+			homo.CompileOpts{Stats: base}).Exists(base) {
 			return false, nil
 		}
 	}

@@ -44,19 +44,23 @@ func RunSequentialReference(base *store.Store, tgds []*logic.TGD, opts Options) 
 		// before any firing — the same discipline as the parallel engine.
 		perRule := make([][]homo.Match, len(tgds))
 		for i, rule := range tgds {
-			perRule[i] = collectTriggers(s, rule, all, deltaSet)
+			plan := homo.CachedPlanWith(homo.CacheKey{Owner: rule, Tag: homo.TagBody}, rule.Body,
+				homo.CompileOpts{Stats: s})
+			perRule[i] = collectTriggers(s, plan, all, deltaSet)
 		}
 		var newDelta []store.FactID
 		for ri, rule := range tgds {
 			frontVars := rule.FrontierVars()
 			existential := rule.ExistentialVars()
+			headPlan := homo.CachedPlanWith(homo.CacheKey{Owner: rule, Tag: homo.TagHead}, rule.Head,
+				homo.CompileOpts{Stats: s, Prebound: frontVars})
 			for _, m := range perRule[ri] {
 				frontier := m.Subst.Restrict(frontVars)
 				// The restricted-chase applicability check against the
 				// store as it stands mid-round: firings earlier in the
 				// sequential order suppress later triggers whose head
 				// they satisfied.
-				if homo.CachedPlan(homo.CacheKey{Owner: rule, Tag: homo.TagHead}, rule.Head).ExistsSeeded(s, frontier) {
+				if headPlan.ExistsSeeded(s, frontier) {
 					continue
 				}
 				if budget-len(res.Prov) < len(rule.Head) {

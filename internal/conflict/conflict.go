@@ -181,8 +181,16 @@ func AllNaiveUnder(parent uint64, base *store.Store, cdds []*logic.CDD) []*Confl
 		sp = obs.StartSpanUnder(parent, "conflict.scan",
 			obs.Int("cdds", len(cdds)), obs.Bool("naive", true))
 	}
+	// Resolve every CDD's plan before the fan-out: first compiles bind the
+	// join order from store statistics, and binding must happen at this
+	// sequential point, not under whichever worker misses the cache first.
+	plans := make([]*homo.Plan, len(cdds))
+	for i, c := range cdds {
+		plans[i] = homo.CachedPlanWith(homo.CacheKey{Owner: c, Tag: homo.TagBody}, c.Body,
+			homo.CompileOpts{Stats: base})
+	}
 	perCDD := par.MapNamed("conflict.scan", len(cdds), func(i int) []*Conflict {
-		return scanCDD(base, cdds[i], i, nil)
+		return scanCDD(base, plans[i], cdds[i], i, nil)
 	})
 	var out []*Conflict
 	for _, cs := range perCDD {
@@ -201,10 +209,9 @@ func AllNaiveUnder(parent uint64, base *store.Store, cdds []*logic.CDD) []*Confl
 // starts with the CDD index. When res is non-nil the scan is a chase-level
 // one: base supports come from provenance and Direct only holds when every
 // violating atom is a base fact.
-func scanCDD(s *store.Store, cdd *logic.CDD, idx int, res *chase.Result) []*Conflict {
+func scanCDD(s *store.Store, plan *homo.Plan, cdd *logic.CDD, idx int, res *chase.Result) []*Conflict {
 	var out []*Conflict
 	seen := make(map[string]bool)
-	plan := homo.CachedPlan(homo.CacheKey{Owner: cdd, Tag: homo.TagBody}, cdd.Body)
 	plan.ForEach(s, func(m homo.Match) bool {
 		direct := true
 		baseFacts := m.Facts
@@ -266,8 +273,14 @@ func All(base *store.Store, tgds []*logic.TGD, cdds []*logic.CDD, opts chase.Opt
 	// Same fan-out shape as AllNaive: one read-only task per CDD over the
 	// chased store, merged in CDD-index order. Concurrent tasks share the
 	// chase result's memoized base-support cache, which is goroutine-safe.
+	// Plans resolve sequentially first so order binding never races.
+	plans := make([]*homo.Plan, len(cdds))
+	for i, c := range cdds {
+		plans[i] = homo.CachedPlanWith(homo.CacheKey{Owner: c, Tag: homo.TagBody}, c.Body,
+			homo.CompileOpts{Stats: res.Store})
+	}
 	perCDD := par.MapNamed("conflict.scan", len(cdds), func(i int) []*Conflict {
-		return scanCDD(res.Store, cdds[i], i, res)
+		return scanCDD(res.Store, plans[i], cdds[i], i, res)
 	})
 	var out []*Conflict
 	for _, cs := range perCDD {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package conflict
+
+const raceEnabled = false

@@ -22,12 +22,21 @@ type Tracker struct {
 	cdds      []*logic.CDD
 	conflicts map[string]*Conflict
 	byFact    map[store.FactID]map[string]bool
+	// ordered/orderedKeys hold the live conflicts sorted by key, maintained
+	// incrementally by binary-search insertion and removal — the keyed merge
+	// that replaced re-sorting the whole set on every Conflicts call. Keys
+	// are computed once at insertion (Conflict.Key formats a string) and
+	// kept parallel to the conflicts.
+	ordered     []*Conflict
+	orderedKeys []string
 	// byPred maps a predicate name to the indexes of CDDs mentioning it in
 	// their body (the Σ_C^A of §5, at predicate granularity).
 	byPred map[string][]int
 	// pinPlans[ci][ai] is the compiled body-minus-atom-ai conjunction of
 	// CDD ci, precomputed so Update's hot path never touches the plan
-	// cache.
+	// cache. Plans are seed-specialized: the pinned atom's variables are
+	// pre-bound slots, so the orderer costs the rest-conjunction under the
+	// bindings every pinned search actually starts with.
 	pinPlans [][]*homo.Plan
 }
 
@@ -58,8 +67,9 @@ func NewTrackerUnder(parent uint64, base *store.Store, cdds []*logic.CDD) *Track
 				t.byPred[a.Pred] = append(t.byPred[a.Pred], i)
 			}
 		}
-		// Pinned plans are pure functions of (cdd, atom index), so they go
-		// through the process-wide cache and are shared across trackers.
+		// Pinned plans are pure functions of (cdd, atom index, prebound
+		// set), so they go through the process-wide cache and are shared
+		// across trackers.
 		t.pinPlans[i] = make([]*homo.Plan, len(c.Body))
 		for ai := range c.Body {
 			rest := make([]logic.Atom, 0, len(c.Body)-1)
@@ -68,13 +78,30 @@ func NewTrackerUnder(parent uint64, base *store.Store, cdds []*logic.CDD) *Track
 					rest = append(rest, a)
 				}
 			}
-			t.pinPlans[i][ai] = homo.CachedPlan(homo.CacheKey{Owner: c, Tag: homo.TagPinned + ai}, rest)
+			var pre []logic.Term
+			for _, arg := range c.Body[ai].Args {
+				if arg.IsVar() && !containsTerm(pre, arg) {
+					pre = append(pre, arg)
+				}
+			}
+			t.pinPlans[i][ai] = homo.CachedPlanWith(
+				homo.CacheKey{Owner: c, Tag: homo.TagPinned + ai}, rest,
+				homo.CompileOpts{Stats: base, Prebound: pre})
 		}
 	}
 	for _, c := range AllNaiveUnder(parent, base, cdds) {
 		t.add(c)
 	}
 	return t
+}
+
+func containsTerm(ts []logic.Term, t logic.Term) bool {
+	for _, x := range ts {
+		if x == t {
+			return true
+		}
+	}
+	return false
 }
 
 func (t *Tracker) add(c *Conflict) {
@@ -84,6 +111,13 @@ func (t *Tracker) add(c *Conflict) {
 	}
 	mEdgeAdd.Inc()
 	t.conflicts[k] = c
+	i := sort.SearchStrings(t.orderedKeys, k)
+	t.orderedKeys = append(t.orderedKeys, "")
+	copy(t.orderedKeys[i+1:], t.orderedKeys[i:])
+	t.orderedKeys[i] = k
+	t.ordered = append(t.ordered, nil)
+	copy(t.ordered[i+1:], t.ordered[i:])
+	t.ordered[i] = c
 	for _, f := range c.BaseFacts {
 		m := t.byFact[f]
 		if m == nil {
@@ -101,6 +135,10 @@ func (t *Tracker) remove(key string) {
 	}
 	mEdgeDel.Inc()
 	delete(t.conflicts, key)
+	if i := sort.SearchStrings(t.orderedKeys, key); i < len(t.orderedKeys) && t.orderedKeys[i] == key {
+		t.orderedKeys = append(t.orderedKeys[:i], t.orderedKeys[i+1:]...)
+		t.ordered = append(t.ordered[:i], t.ordered[i+1:]...)
+	}
 	for _, f := range c.BaseFacts {
 		if m := t.byFact[f]; m != nil {
 			delete(m, key)
@@ -246,18 +284,11 @@ func bindAtom(pattern, fact logic.Atom) (logic.Subst, bool) {
 func (t *Tracker) Len() int { return len(t.conflicts) }
 
 // Conflicts returns the current conflicts in a deterministic order (sorted
-// by key).
+// by key). The order is maintained incrementally, so each call is a copy,
+// not a re-sort: strategies call this after every answer, and on large
+// hypergraphs the repeated O(n log n) sort used to dominate update time.
 func (t *Tracker) Conflicts() []*Conflict {
-	keys := make([]string, 0, len(t.conflicts))
-	for k := range t.conflicts {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]*Conflict, len(keys))
-	for i, k := range keys {
-		out[i] = t.conflicts[k]
-	}
-	return out
+	return append([]*Conflict(nil), t.ordered...)
 }
 
 // ConflictsOfFact returns the conflicts involving the given base fact.
@@ -281,13 +312,45 @@ func (t *Tracker) PositionRanks() map[store.Position]int {
 	return PositionRanks(t.Conflicts(), t.base)
 }
 
+// positionRanksChunk is the fan-out granularity of PositionRanks: small
+// conflict sets rank inline (a fan-out would cost more than the loop),
+// larger ones split into chunks of this many conflicts.
+const positionRanksChunk = 64
+
 // PositionRanks computes per-position conflict membership counts for an
 // arbitrary conflict set. Opti-mcd is an improvement over opti-join (§5),
 // so for direct conflicts only the join positions are ranked — changing a
 // non-join position can never resolve the conflict, and ranking it would
 // steer the strategy toward wasted questions. Chase-level conflicts fall
 // back to all base-support positions, as in GenerateQuestion-Chase.
+//
+// Ranking only reads the conflicts and the store, and per-position counts
+// add commutatively, so big sets fan out chunk-wise over the par worker
+// pool and merge additively — the result map is identical at any worker
+// count.
 func PositionRanks(conflicts []*Conflict, s *store.Store) map[store.Position]int {
+	if len(conflicts) <= positionRanksChunk {
+		return positionRanksSeq(conflicts, s)
+	}
+	chunks := (len(conflicts) + positionRanksChunk - 1) / positionRanksChunk
+	parts := par.MapNamed("conflict.ranks", chunks, func(g int) map[store.Position]int {
+		lo := g * positionRanksChunk
+		hi := lo + positionRanksChunk
+		if hi > len(conflicts) {
+			hi = len(conflicts)
+		}
+		return positionRanksSeq(conflicts[lo:hi], s)
+	})
+	ranks := make(map[store.Position]int)
+	for _, part := range parts {
+		for p, n := range part {
+			ranks[p] += n
+		}
+	}
+	return ranks
+}
+
+func positionRanksSeq(conflicts []*Conflict, s *store.Store) map[store.Position]int {
 	ranks := make(map[store.Position]int)
 	for _, c := range conflicts {
 		ps := c.JoinPositions(s)

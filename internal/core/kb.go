@@ -92,7 +92,11 @@ func IsDegenerateCDD(c *logic.CDD) bool {
 			anon.MustAdd(logic.NewAtom(a.Pred, args...))
 		}
 	}
-	return homo.CachedPlan(homo.CacheKey{Owner: c, Tag: homo.TagBody}, c.Body).Exists(anon)
+	// Compiled uncached on purpose: the shared plan cache key {c, TagBody} is
+	// the one conflict scanning uses, and validation runs before any real
+	// scan. Binding the cached plan's join order to this one-fact anonymized
+	// store would poison the order for the store that matters.
+	return homo.Compile(c.Body).Exists(anon)
 }
 
 // Clone returns a copy of the KB with an independent fact store. Rules are

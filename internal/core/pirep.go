@@ -137,7 +137,12 @@ func (pc *PiChecker) SetCause(id attr.ID) { pc.cause.Store(int32(id)) }
 func (pc *PiChecker) SetTraceParent(id uint64) { pc.traceParent.Store(id) }
 
 // NewPiChecker builds a checker for the KB with the optimization enabled.
+// It also warms the plan cache for every rule body against the KB's base
+// store: the checker's full checks fan out across workers on per-chunk
+// clone stores, and a first compile racing in a worker would bind join
+// orders to whichever clone won — warming here keeps orders deterministic.
 func NewPiChecker(kb *KB) *PiChecker {
+	chase.PrecompilePlans(kb.Facts, kb.TGDs, kb.CDDs)
 	pc := &PiChecker{kb: kb, ruleConst: make(map[logic.Term]bool), Optimized: true}
 	pc.cause.Store(int32(attr.None))
 	collect := func(as []logic.Atom) {

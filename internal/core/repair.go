@@ -138,15 +138,24 @@ func UpdateRepair(kb *KB, fs FixSet) (*KB, error) {
 // the active domain of (pred, arg) minus the current value, plus one fresh
 // null uniquely attributed to the position.
 func FixValues(kb *KB, pos Position) []logic.Term {
+	return FixValuesWith(kb, pos, kb.Facts.FreshNull())
+}
+
+// FixValuesWith is FixValues with the position's fresh null minted by the
+// caller. Unlike FixValues it only reads the store, so callers generating
+// fixes for many positions can mint the nulls sequentially (FreshNull
+// advances the store's null sequence — its order must not depend on worker
+// scheduling) and fan the active-domain enumeration out across workers.
+func FixValuesWith(kb *KB, pos Position, null logic.Term) []logic.Term {
 	a := kb.Facts.FactRef(pos.Fact)
 	cur := kb.Facts.Value(pos)
 	dom := kb.Facts.ActiveDomain(a.Pred, pos.Arg)
-	out := make([]logic.Term, 0, len(dom))
+	out := make([]logic.Term, 0, len(dom)+1)
 	for _, t := range dom {
 		if t != cur {
 			out = append(out, t)
 		}
 	}
-	out = append(out, kb.Facts.FreshNull())
+	out = append(out, null)
 	return out
 }

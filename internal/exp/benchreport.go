@@ -17,8 +17,11 @@ import (
 // BenchSchemaVersion identifies the BENCH.json layout; bump on breaking
 // changes so baseline comparisons can refuse incompatible files. Version 2
 // added the plan-quality profile section and generalized the regression
-// record beyond latency metrics.
-const BenchSchemaVersion = 2
+// record beyond latency metrics. Version 3 annotates profile rows with the
+// compiled join plan (kernel mode and compile-time order) and re-baselines
+// the per-body node totals on the compile-time-ordered kernels — v2 node
+// counts measured the adaptive engine's trees and are not comparable.
+const BenchSchemaVersion = 3
 
 // BenchEnv stamps the environment a benchmark ran in, so a baseline
 // comparison can warn when the machines differ.

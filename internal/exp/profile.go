@@ -1,6 +1,10 @@
 package exp
 
 import (
+	"fmt"
+	"io"
+
+	"kbrepair/internal/homo"
 	"kbrepair/internal/obs"
 	"kbrepair/internal/obs/attr"
 )
@@ -50,6 +54,68 @@ func BuildProfile(s *attr.Snapshot, m obs.Snapshot) *Profile {
 		p.Truncated = len(rows) - ProfileTopK
 		rows = rows[:ProfileTopK]
 	}
+	// Join each row to its compiled-plan annotation: the kernel mode and the
+	// compile-time order the body actually ran with. attr keys rows by the
+	// body's canonical string — the same key homo records plans under.
+	for i := range rows {
+		if info, ok := homo.PlanInfoFor(rows[i].Body); ok {
+			rows[i].Mode = info.Mode
+			rows[i].Order = info.OrderString()
+		}
+	}
 	p.Rows = rows
 	return p
+}
+
+// WriteProfile renders the plan-quality section kbbench prints alongside
+// its tables: plan-cache health, then the most expensive bodies with the
+// kernel mode and compile-time join order each one ran with.
+func WriteProfile(w io.Writer, p *Profile) {
+	if p == nil {
+		return
+	}
+	fmt.Fprintf(w, "== Plan quality (%d bodies, cache hit rate %.1f%%: %d compiles, %d hits) ==\n",
+		p.Bodies, p.CacheHitRate*100, p.PlanCompiles, p.PlanCacheHits)
+	fmt.Fprintf(w, "  %-40s %-8s %9s %12s %9s  %s\n",
+		"body", "mode", "searches", "nodes", "matches", "order")
+	for _, r := range p.Rows {
+		body := r.Body
+		if len(body) > 40 {
+			body = body[:37] + "..."
+		}
+		mode := r.Mode
+		if mode == "" {
+			mode = "-"
+		}
+		fmt.Fprintf(w, "  %-40s %-8s %9d %12d %9d  %s\n",
+			body, mode, r.Searches, r.Nodes, r.Matches, r.Order)
+	}
+	if p.Truncated > 0 {
+		fmt.Fprintf(w, "  ... %d more bodies elided\n", p.Truncated)
+	}
+	fmt.Fprintln(w)
+}
+
+// CheckPlans is the gate behind kbbench -plans-check (make
+// bench-plans-smoke): every profiled body must carry a compiled-plan
+// annotation, and none may run the legacy adaptive kernel unless a caller
+// forced it explicitly. It consults the live plan registry, so it only
+// makes sense in the process that ran the searches.
+func CheckPlans(p *Profile) error {
+	if p == nil {
+		return fmt.Errorf("plans: profile missing (attribution was off)")
+	}
+	for _, r := range p.Rows {
+		if r.Mode == "" {
+			return fmt.Errorf("plans: body %q ran without a compiled-plan annotation", r.Body)
+		}
+		info, ok := homo.PlanInfoFor(r.Body)
+		if !ok {
+			return fmt.Errorf("plans: body %q missing from the plan registry", r.Body)
+		}
+		if info.Mode == homo.ModeAdaptive.String() && !info.Forced {
+			return fmt.Errorf("plans: body %q silently fell back to the adaptive kernel", r.Body)
+		}
+	}
+	return nil
 }

@@ -5,18 +5,26 @@ package homo_test
 
 import (
 	"fmt"
+	"sort"
 	"testing"
 
 	"kbrepair/internal/homo"
 	"kbrepair/internal/logic"
+	"kbrepair/internal/par"
 	"kbrepair/internal/synth"
 )
 
+// workerCounts is the determinism matrix every differential case runs under:
+// the sequential baseline, a small pool, and an oversubscribed pool.
+var workerCounts = []int{1, 2, 8}
+
 // TestPlanDifferentialSynth checks, over a table of KB sizes and seeds, that
 // for every rule-derived conjunction (CDD bodies, TGD bodies and heads) the
-// compiled engine enumerates exactly the reference engine's match sequence —
-// the same multiset in the same order with the same fact assignments — both
-// unseeded and seeded with the first match's bindings.
+// compiled engine enumerates exactly the reference engine's match set — the
+// same bindings with the same fact assignments — both unseeded and seeded
+// with the first match's bindings, in every compile mode and at every worker
+// count. (Enumeration order is a plan property since the compile-time
+// orderer; the set is the engine contract.)
 func TestPlanDifferentialSynth(t *testing.T) {
 	cases := []synth.Params{
 		{Seed: 1, NumFacts: 40, InconsistencyRatio: 0.2, NumCDDs: 5},
@@ -24,6 +32,7 @@ func TestPlanDifferentialSynth(t *testing.T) {
 		{Seed: 3, NumFacts: 300, InconsistencyRatio: 0.1, NumCDDs: 10, NumTGDs: 6, JoinVarRatio: 0.5},
 		{Seed: 4, NumFacts: 80, InconsistencyRatio: 0.4, NumCDDs: 12, NumTGDs: 2, JoinVarRatio: 0.2},
 	}
+	defer par.SetWorkers(0)
 	for _, params := range cases {
 		params := params
 		t.Run(fmt.Sprintf("seed%d_facts%d", params.Seed, params.NumFacts), func(t *testing.T) {
@@ -38,29 +47,89 @@ func TestPlanDifferentialSynth(t *testing.T) {
 			for _, r := range g.KB.TGDs {
 				bodies = append(bodies, r.Body, r.Head)
 			}
-			total := 0
-			for bi, body := range bodies {
-				want := collect(t, body, g, true)
-				got := collect(t, body, g, false)
-				if fmt.Sprint(got) != fmt.Sprint(want) {
-					t.Fatalf("body %d (%v): sequences differ\n got %v\nwant %v", bi, body, got, want)
+			for _, w := range workerCounts {
+				par.SetWorkers(w)
+				total := 0
+				for bi, body := range bodies {
+					want := collect(t, body, g, true)
+					total += len(want)
+					for _, opts := range compileVariants(g) {
+						got := collectWith(t, body, g, nil, opts)
+						if fmt.Sprint(got) != fmt.Sprint(want) {
+							t.Fatalf("workers=%d body %d (%v) opts %+v: match sets differ\n got %v\nwant %v",
+								w, bi, body, opts, got, want)
+						}
+					}
+					if len(want) == 0 {
+						continue
+					}
+					// Seeded run: pin the first match's first binding.
+					seed := firstBinding(t, body, g)
+					wantSeeded := collectSeeded(t, body, g, seed, true)
+					for _, opts := range compileVariants(g) {
+						gotSeeded := collectWith(t, body, g, seed, opts)
+						if fmt.Sprint(gotSeeded) != fmt.Sprint(wantSeeded) {
+							t.Fatalf("workers=%d body %d seeded %v opts %+v: match sets differ\n got %v\nwant %v",
+								w, bi, seed, opts, gotSeeded, wantSeeded)
+						}
+					}
 				}
-				total += len(want)
-				if len(want) == 0 {
-					continue
+				if total == 0 {
+					t.Fatal("no conjunction matched anything; differential test would be vacuous")
 				}
-				// Seeded run: pin the first match's first binding.
-				seed := firstBinding(t, body, g)
-				wantSeeded := collectSeeded(t, body, g, seed, true)
-				gotSeeded := collectSeeded(t, body, g, seed, false)
-				if fmt.Sprint(gotSeeded) != fmt.Sprint(wantSeeded) {
-					t.Fatalf("body %d seeded %v: sequences differ\n got %v\nwant %v", bi, seed, gotSeeded, wantSeeded)
-				}
-			}
-			if total == 0 {
-				t.Fatal("no conjunction matched anything; differential test would be vacuous")
 			}
 		})
+	}
+}
+
+// TestPlanDifferentialRepeatedVars drives bodies with repeated variables —
+// inside one atom and across atoms — through every kernel against the
+// reference set.
+func TestPlanDifferentialRepeatedVars(t *testing.T) {
+	g, err := synth.Generate(synth.Params{Seed: 7, NumFacts: 90, InconsistencyRatio: 0.3, NumCDDs: 6, JoinVarRatio: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := map[string]int{}
+	for _, id := range g.KB.Facts.IDs() {
+		a := g.KB.Facts.Fact(id)
+		if a.Arity() >= 2 {
+			preds[a.Pred] = a.Arity()
+		}
+	}
+	var p2 string
+	for p, ar := range preds {
+		if ar == 2 && (p2 == "" || p < p2) {
+			p2 = p
+		}
+	}
+	if p2 == "" {
+		t.Skip("no binary predicate in synth KB")
+	}
+	bodies := [][]logic.Atom{
+		{logic.NewAtom(p2, logic.V("X"), logic.V("X"))},
+		{logic.NewAtom(p2, logic.V("X"), logic.V("Y")), logic.NewAtom(p2, logic.V("Y"), logic.V("X"))},
+		{logic.NewAtom(p2, logic.V("X"), logic.V("Y")), logic.NewAtom(p2, logic.V("Y"), logic.V("Z")), logic.NewAtom(p2, logic.V("Z"), logic.V("X"))},
+	}
+	for bi, body := range bodies {
+		want := collect(t, body, g, true)
+		for _, opts := range compileVariants(g) {
+			got := collectWith(t, body, g, nil, opts)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("body %d (%v) opts %+v: match sets differ\n got %v\nwant %v", bi, body, opts, got, want)
+			}
+		}
+	}
+}
+
+// compileVariants is the kernel matrix each differential body runs through:
+// structural auto, stats-informed auto, and both forced kernels.
+func compileVariants(g *synth.Generated) []homo.CompileOpts {
+	return []homo.CompileOpts{
+		{},
+		{Stats: g.KB.Facts},
+		{Mode: homo.ModeAdaptive},
+		{Mode: homo.ModeWCOJ},
 	}
 }
 
@@ -71,16 +140,26 @@ func collect(t *testing.T, body []logic.Atom, g *synth.Generated, reference bool
 
 func collectSeeded(t *testing.T, body []logic.Atom, g *synth.Generated, seed logic.Subst, reference bool) []string {
 	t.Helper()
+	if reference {
+		var out []string
+		homo.ReferenceForEachSeeded(g.KB.Facts, body, seed, func(m homo.Match) bool {
+			out = append(out, m.Subst.Key()+fmt.Sprint(m.Facts))
+			return true
+		})
+		sort.Strings(out)
+		return out
+	}
+	return collectWith(t, body, g, seed, homo.CompileOpts{})
+}
+
+func collectWith(t *testing.T, body []logic.Atom, g *synth.Generated, seed logic.Subst, opts homo.CompileOpts) []string {
+	t.Helper()
 	var out []string
-	fn := func(m homo.Match) bool {
+	homo.CompileWith(body, opts).ForEachSeeded(g.KB.Facts, seed, func(m homo.Match) bool {
 		out = append(out, m.Subst.Key()+fmt.Sprint(m.Facts))
 		return true
-	}
-	if reference {
-		homo.ReferenceForEachSeeded(g.KB.Facts, body, seed, fn)
-	} else {
-		homo.Compile(body).ForEachSeeded(g.KB.Facts, seed, fn)
-	}
+	})
+	sort.Strings(out)
 	return out
 }
 

@@ -4,18 +4,26 @@
 //
 // A homomorphism h from a conjunction B to a set of facts F maps every
 // variable of B to a ground term of F such that h(B) ⊆ F; constants and
-// labeled nulls in B must match facts exactly. The search is a backtracking
-// join that at every step expands the not-yet-matched atom with the fewest
-// index candidates under the current partial substitution.
+// labeled nulls in B must match facts exactly.
 //
 // Conjunctions are compiled once into Plans (see plan.go): variables become
 // dense integer slots bound through a flat array with an undo trail, and
 // per-atom candidate lists are cached across backtrack nodes, invalidated
-// only when one of the atom's slots changes. Rule-derived conjunctions
-// share compiled plans through CachedPlan, keyed by rule identity. The
-// package-level functions below compile on the fly and are kept as the
-// convenience API for ad-hoc bodies; both routes execute the same kernel
-// and enumerate matches in the same order as the original map-based engine.
+// only when one of the atom's slots changes. The kernel a plan runs is
+// chosen at compile time (see order.go): acyclic bodies execute a fixed
+// atom order picked by a cost-based orderer (with one-step forward
+// checking), cyclic bodies — in the GYO ear-removal sense — execute a
+// variable-at-a-time generic join (see wcoj.go), and the legacy per-node
+// adaptive ordering survives only behind an explicit CompileOpts.Mode for
+// comparison. Rule-derived conjunctions share compiled plans through
+// CachedPlan, keyed by rule identity plus the compile spec; CompileOpts
+// also supports seed-specialized plans whose Prebound variables count as
+// bound for ordering. The package-level functions below compile on the fly
+// and are kept as the convenience API for ad-hoc bodies.
+//
+// The engine's contract is the SET of matches: two plans for the same body
+// always produce equal match sets, but enumeration order is a plan
+// property and differs across kernels and orders.
 package homo
 
 import (

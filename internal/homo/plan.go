@@ -70,6 +70,13 @@ type Plan struct {
 	slotOf    map[logic.Term]int
 	slotAtoms [][]int // slot -> indices of atoms mentioning it
 	pool      sync.Pool
+	// mode is the kernel resolved at compile time (static, wcoj or the
+	// explicitly requested legacy adaptive).
+	mode Mode
+	// order is the static kernel's atom visit order; vorder is the wcoj
+	// kernel's slot binding order. Only the resolved mode's field is set.
+	order  []int
+	vorder []int
 	// aid is the interned attribution key of the body, resolved at compile
 	// time (attr.None when attribution was off then — plans compiled before
 	// attr.SetEnabled record nothing, which the CLIs avoid by enabling
@@ -77,11 +84,23 @@ type Plan struct {
 	aid attr.ID
 }
 
-// Compile builds an execution plan for body. The compiled plan preserves the
-// legacy engine's semantics exactly — same adaptive least-candidates atom
-// ordering, same index-probe selection order, same enumeration order — it
-// only avoids redundant per-node work.
+// Mode returns the kernel the plan was compiled for.
+func (p *Plan) Mode() Mode { return p.mode }
+
+// Compile builds an execution plan for body with default options: automatic
+// kernel selection and a structural (stats-free) join order. Call sites that
+// know the store the plan will run against should prefer CompileWith with
+// Stats so the orderer sees real cardinalities.
 func Compile(body []logic.Atom) *Plan {
+	return CompileWith(body, CompileOpts{})
+}
+
+// CompileWith builds an execution plan for body. The kernel and the join
+// order are fixed here, once: the cost-based orderer (order.go) picks the
+// atom sequence from opts.Stats cardinalities and bound-slot connectivity,
+// cyclic bodies get the generic-join kernel, and opts.Prebound slots count
+// as bound from the start (seed-specialized plans).
+func CompileWith(body []logic.Atom, opts CompileOpts) *Plan {
 	mPlanCompiles.Inc()
 	p := &Plan{
 		atoms:  make([]planAtom, len(body)),
@@ -113,6 +132,47 @@ func Compile(body []logic.Atom) *Plan {
 		}
 		p.atoms[i] = pa
 	}
+	pre := make([]bool, len(p.vars))
+	var preNames []string
+	for _, v := range opts.Prebound {
+		if sl, ok := p.slotOf[v]; ok {
+			pre[sl] = true
+		}
+		preNames = append(preNames, v.Name)
+	}
+	mode := opts.Mode
+	forced := mode != ModeAuto
+	if mode == ModeAuto {
+		if p.isCyclic() {
+			mode = ModeWCOJ
+		} else {
+			mode = ModeStatic
+		}
+	}
+	p.mode = mode
+	var orderDesc []string
+	switch mode {
+	case ModeWCOJ:
+		p.vorder = p.wcojOrder()
+		for _, s := range p.vorder {
+			orderDesc = append(orderDesc, p.vars[s].Name)
+		}
+	case ModeStatic:
+		p.order = p.staticOrder(opts.Stats, pre)
+		for _, i := range p.order {
+			orderDesc = append(orderDesc, body[i].String())
+		}
+	}
+	if len(body) > 0 {
+		recordPlanInfo(PlanInfo{
+			Body:     bodyKey(body),
+			Mode:     mode.String(),
+			Order:    orderDesc,
+			Prebound: preNames,
+			Stats:    opts.Stats != nil,
+			Forced:   forced,
+		})
+	}
 	p.pool.New = func() any { return newExec(p) }
 	return p
 }
@@ -138,10 +198,13 @@ const (
 // CacheKey identifies a compiled conjunction in the process-wide plan cache.
 // Owner must be a stable comparable identity for the conjunction — in
 // practice the *logic.TGD or *logic.CDD pointer, which is shared across KB
-// clones and lives for the session.
+// clones and lives for the session. Spec is the compile-option fingerprint
+// (kernel mode + prebound variables); CachedPlanWith fills it from the
+// options, so differently specialized plans of one rule never collide.
 type CacheKey struct {
 	Owner any
 	Tag   int
+	Spec  string
 }
 
 var (
@@ -154,11 +217,21 @@ var (
 	planCompileMu sync.Mutex
 )
 
-// CachedPlan returns the compiled plan for key, compiling body on first use.
-// The cache is keyed by rule identity, not body contents: callers must pass
-// the same body for the same key every time (rules are immutable, so this
-// holds for all rule-derived conjunctions).
+// CachedPlan returns the compiled plan for key, compiling body on first use
+// with default options. The cache is keyed by rule identity, not body
+// contents: callers must pass the same body for the same key every time
+// (rules are immutable, so this holds for all rule-derived conjunctions).
 func CachedPlan(key CacheKey, body []logic.Atom) *Plan {
+	return CachedPlanWith(key, body, CompileOpts{})
+}
+
+// CachedPlanWith is CachedPlan with explicit compile options. The options'
+// mode and prebound variables join the cache key, so a rule can hold both a
+// general and a seed-specialized plan; Stats do not (the first compile for a
+// key binds the order — compile at a point where the store is representative,
+// e.g. chase.PrecompilePlans before any parallel fan-out).
+func CachedPlanWith(key CacheKey, body []logic.Atom, opts CompileOpts) *Plan {
+	key.Spec = opts.spec()
 	if v, ok := planCache.Load(key); ok {
 		mPlanHits.Inc()
 		return v.(*Plan)
@@ -169,7 +242,7 @@ func CachedPlan(key CacheKey, body []logic.Atom) *Plan {
 		mPlanHits.Inc()
 		return v.(*Plan)
 	}
-	p := Compile(body)
+	p := CompileWith(body, opts)
 	planCache.Store(key, p)
 	return p
 }
@@ -197,6 +270,12 @@ type exec struct {
 	cands [][]store.FactID
 	fresh []bool
 
+	// Generic-join state (wcoj plans only): the unbound slots of this search
+	// in binding order, and per-level distinct-value sets, reused across
+	// searches so the steady state allocates nothing.
+	wslots []int
+	wseen  []map[logic.Term]struct{}
+
 	// scratch is the Subst materialized for fn at each match; like the
 	// legacy engine's live map it is only valid during the callback.
 	scratch logic.Subst
@@ -214,7 +293,7 @@ type exec struct {
 
 func newExec(p *Plan) *exec {
 	n := len(p.atoms)
-	return &exec{
+	e := &exec{
 		p:       p,
 		bind:    make([]logic.Term, len(p.vars)),
 		set:     make([]bool, len(p.vars)),
@@ -225,6 +304,14 @@ func newExec(p *Plan) *exec {
 		fresh:   make([]bool, n),
 		scratch: logic.NewSubst(),
 	}
+	if p.mode == ModeWCOJ {
+		e.wslots = make([]int, 0, len(p.vars))
+		e.wseen = make([]map[logic.Term]struct{}, len(p.vars))
+		for i := range e.wseen {
+			e.wseen[i] = make(map[logic.Term]struct{})
+		}
+	}
+	return e
 }
 
 func (e *exec) reset(s *store.Store, seed logic.Subst, fn func(Match) bool) {
@@ -261,8 +348,52 @@ func (e *exec) release() {
 	}
 }
 
+// runStatic matches the atoms in the plan's compile-time order, with
+// one-step forward checking: after extending the bindings it peeks at the
+// next atom's candidate list — served from the per-atom cache, so the peek
+// costs at most one index probe — and skips the child node outright when
+// the list is empty. The adaptive kernel pays a full node to discover the
+// same dead end, so at equal order quality static trees are strictly
+// smaller on failing branches.
+func (e *exec) runStatic(depth int) {
+	if e.stopped {
+		return
+	}
+	e.nodes++
+	if depth == len(e.p.atoms) {
+		e.matches++
+		if e.fn == nil { // exists-only mode
+			e.matched = true
+			e.stopped = true
+			return
+		}
+		if !e.fn(Match{Subst: e.materialize(), Facts: e.facts}) {
+			e.stopped = true
+		}
+		return
+	}
+	idx := e.p.order[depth]
+	cands := e.candidates(idx)
+	last := depth+1 == len(e.p.atoms)
+	for _, fid := range cands {
+		fact := e.s.FactRef(fid)
+		mark := len(e.trail)
+		if e.matchAtom(idx, fact) {
+			e.facts[idx] = fid
+			if last || len(e.candidates(e.p.order[depth+1])) > 0 {
+				e.runStatic(depth + 1)
+			}
+		}
+		e.undo(mark)
+		if e.stopped {
+			break
+		}
+	}
+}
+
 // run matches the remaining len(atoms)-depth atoms — the same search tree,
-// node for node, as the legacy engine's search.run.
+// node for node, as the legacy engine's search.run. Kept as the explicitly
+// selectable ModeAdaptive kernel.
 func (e *exec) run(depth int) {
 	if e.stopped {
 		return
@@ -468,7 +599,14 @@ func (p *Plan) search(s *store.Store, seed logic.Subst, fn func(Match) bool) boo
 	}
 	e := p.pool.Get().(*exec)
 	e.reset(s, seed, fn)
-	e.run(0)
+	switch p.mode {
+	case ModeWCOJ:
+		e.runWCOJ()
+	case ModeAdaptive:
+		e.run(0)
+	default:
+		e.runStatic(0)
+	}
 	matched := e.matched || e.matches > 0
 	mNodes.Add(e.nodes)
 	mProbes.Add(e.probes)

@@ -1,0 +1,125 @@
+package homo
+
+// wcoj.go: the generic-join (leapfrog-style) kernel, selected at compile
+// time for cyclic bodies. Instead of enumerating atom-at-a-time — which on a
+// triangle r(x,y), s(y,z), t(z,x) materializes the full binary join of two
+// relations before the third prunes it — the kernel binds one variable slot
+// at a time: it walks the distinct values of the smallest candidate list
+// among the atoms sharing the slot, and keeps a value only if every such
+// atom still has candidates under the extended bindings (the semi-join
+// check). Once all slots are bound, the emit phase assigns concrete facts to
+// each atom so Match.Facts stays a per-atom assignment like the other
+// kernels.
+
+// runWCOJ executes the generic join: collect the slots the seed left
+// unbound, in the plan's compile-time variable order, then descend.
+func (e *exec) runWCOJ() {
+	e.wslots = e.wslots[:0]
+	for _, sl := range e.p.vorder {
+		if !e.set[sl] {
+			e.wslots = append(e.wslots, sl)
+		}
+	}
+	e.wjoin(0)
+}
+
+// wjoin binds the li-th unbound slot to each feasible value. Each call is
+// one node of the search tree (mirroring the backtracking kernels' per-node
+// accounting), and each level reuses a pooled distinct-value set so cached
+// searches stay allocation-free in the steady state.
+func (e *exec) wjoin(li int) {
+	if e.stopped {
+		return
+	}
+	e.nodes++
+	if li == len(e.wslots) {
+		e.wemit(0)
+		return
+	}
+	sl := e.wslots[li]
+	atoms := e.p.slotAtoms[sl]
+	// Pivot: the atom with the fewest candidates under the current bindings
+	// drives the value enumeration; the others only filter.
+	pivot, best := -1, int(^uint(0)>>1)
+	for _, ai := range atoms {
+		if c := len(e.candidates(ai)); c < best {
+			pivot, best = ai, c
+		}
+	}
+	if best == 0 {
+		return
+	}
+	arg := e.p.argOfSlot(pivot, sl)
+	seen := e.wseen[li]
+	clear(seen)
+	for _, fid := range e.cands[pivot] {
+		v := e.s.FactRef(fid).Args[arg]
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		mark := len(e.trail)
+		e.bind[sl] = v
+		e.set[sl] = true
+		e.trail = append(e.trail, sl)
+		for _, ai := range e.p.slotAtoms[sl] {
+			e.fresh[ai] = false
+		}
+		ok := true
+		for _, ai := range atoms {
+			if len(e.candidates(ai)) == 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			e.wjoin(li + 1)
+		}
+		e.undo(mark)
+		if e.stopped {
+			return
+		}
+	}
+}
+
+// wemit enumerates, with every slot bound, the concrete facts each atom maps
+// onto (candidate lists are now fully filtered; matchAtom only re-verifies
+// repeated-variable and ground positions and can push nothing new).
+func (e *exec) wemit(ai int) {
+	if e.stopped {
+		return
+	}
+	e.nodes++
+	if ai == len(e.p.atoms) {
+		e.matches++
+		if e.fn == nil { // exists-only mode
+			e.matched = true
+			e.stopped = true
+			return
+		}
+		if !e.fn(Match{Subst: e.materialize(), Facts: e.facts}) {
+			e.stopped = true
+		}
+		return
+	}
+	for _, fid := range e.candidates(ai) {
+		if e.matchAtom(ai, e.s.FactRef(fid)) {
+			e.facts[ai] = fid
+			e.wemit(ai + 1)
+			if e.stopped {
+				return
+			}
+		}
+	}
+}
+
+// argOfSlot returns an argument position of atom ai holding slot sl. Atoms
+// have a handful of arguments, so a linear scan beats a side table.
+func (p *Plan) argOfSlot(ai, sl int) int {
+	for j, pa := range p.atoms[ai].args {
+		if pa.slot == sl {
+			return j
+		}
+	}
+	return -1
+}

@@ -11,6 +11,8 @@ import (
 
 	"kbrepair/internal/conflict"
 	"kbrepair/internal/core"
+	"kbrepair/internal/logic"
+	"kbrepair/internal/par"
 )
 
 // Question is a sound question φ = {f1, …, fn}: a set of fixes such that
@@ -50,22 +52,42 @@ func (q Question) Describe(kb *core.KB) string {
 // Π-RepOpt). Given that K is Π-repairable and positions come from a live
 // conflict, the result is non-empty (Lemma 4.3).
 func SoundQuestion(kb *core.KB, pc *core.PiChecker, pi core.Pi, positions []core.Position, maxValues int) (core.FixSet, error) {
-	var cands core.FixSet
 	seen := make(map[core.Position]bool)
+	eligible := make([]core.Position, 0, len(positions))
 	for _, pos := range positions {
 		if pi.Has(pos) || seen[pos] {
 			continue
 		}
 		seen[pos] = true
-		vals := core.FixValues(kb, pos)
+		eligible = append(eligible, pos)
+	}
+	// Each position's fresh null is minted here, sequentially in position
+	// order: FreshNull advances the store's null sequence, so minting inside
+	// the fan-out below would tie null labels to worker scheduling. The
+	// active-domain enumeration per position is read-only and fans out; the
+	// per-position fix lists merge in position order, so the candidate list —
+	// and therefore the question — is identical at every worker count.
+	nulls := make([]logic.Term, len(eligible))
+	for i := range eligible {
+		nulls[i] = kb.Facts.FreshNull()
+	}
+	perPos := par.MapNamed("inquiry.fixgen", len(eligible), func(i int) core.FixSet {
+		pos := eligible[i]
+		vals := core.FixValuesWith(kb, pos, nulls[i])
 		if maxValues > 0 && len(vals) > maxValues {
 			// Keep the fresh null (last) and the first maxValues-1 domain
 			// values; the null guarantees answerability.
 			vals = append(vals[:maxValues-1:maxValues-1], vals[len(vals)-1])
 		}
+		fs := make(core.FixSet, 0, len(vals))
 		for _, v := range vals {
-			cands = append(cands, core.Fix{Pos: pos, Value: v})
+			fs = append(fs, core.Fix{Pos: pos, Value: v})
 		}
+		return fs
+	})
+	var cands core.FixSet
+	for _, fs := range perPos {
+		cands = append(cands, fs...)
 	}
 	sound, err := pc.CheckBatch(pi, cands)
 	if err != nil {

@@ -66,7 +66,13 @@ const (
 // share. Rows marshal into the BenchReport profile section, render as the
 // kbdump -profile table, and serve as the /profilez payload.
 type Row struct {
-	Body         string  `json:"body"`
+	Body string `json:"body"`
+	// Mode and Order describe the compiled join plan this body ran with
+	// (kernel mode and the chosen atom/variable order). attr cannot import
+	// internal/homo, so the fields stay empty here and are joined in by the
+	// profile assemblers (exp.BuildProfile, kbdump) from homo.PlanInfoFor.
+	Mode         string  `json:"mode,omitempty"`
+	Order        string  `json:"order,omitempty"`
 	Searches     int64   `json:"searches"`
 	Nodes        int64   `json:"backtrack_nodes"`
 	MedianNodes  float64 `json:"median_nodes"`

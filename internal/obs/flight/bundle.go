@@ -101,6 +101,10 @@ type Bundle struct {
 	// live/goal, GC pause and scheduling-latency quantiles) taken at
 	// capture time (additive section).
 	Runtime *sched.RuntimeStats `json:"runtime,omitempty"`
+	// Plans is the join-plan annotation registry (internal/homo.PlanInfos):
+	// per body, the kernel mode and the compile-time join order. Present
+	// only when at least one plan was compiled (additive section).
+	Plans json.RawMessage `json:"plans,omitempty"`
 	// HeapProfile, MutexProfile and BlockProfile hold the corresponding
 	// runtime/pprof profiles in their debug=1 text form — human-readable
 	// next to goroutines.txt, and mutex/block are empty-but-present unless
@@ -120,6 +124,7 @@ var (
 	providerMu      sync.Mutex
 	digestProvider  func() any
 	journalProvider func() any
+	plansProvider   func() any
 	bundleCmd       string
 )
 
@@ -138,6 +143,16 @@ func SetJournalProvider(fn func() any) {
 	providerMu.Lock()
 	defer providerMu.Unlock()
 	journalProvider = fn
+}
+
+// SetPlansProvider installs the join-plan annotation section source (nil
+// clears it). internal/homo registers it at init, so every bundle of a
+// process that compiled plans carries their modes and orders; the provider
+// must return an immutable snapshot (homo.PlanInfos copies).
+func SetPlansProvider(fn func() any) {
+	providerMu.Lock()
+	defer providerMu.Unlock()
+	plansProvider = fn
 }
 
 // setCmd stamps the command name used in manifests and fallback dump paths.
@@ -171,7 +186,7 @@ func marshalSection(fn func() any) json.RawMessage {
 func Capture(reason string) *Bundle {
 	RecordNote(KindBundleDump, 0, 0, 0, reason)
 	providerMu.Lock()
-	digFn, jrnFn, cmd := digestProvider, journalProvider, bundleCmd
+	digFn, jrnFn, plnFn, cmd := digestProvider, journalProvider, plansProvider, bundleCmd
 	providerMu.Unlock()
 
 	b := &Bundle{
@@ -187,6 +202,7 @@ func Capture(reason string) *Bundle {
 		Goroutines:   allStacks(),
 		KBDigest:     marshalSection(digFn),
 		Journal:      marshalSection(jrnFn),
+		Plans:        marshalSection(plnFn),
 		Attr:         attr.Capture(),
 		Trace:        captureTrace(),
 		Sched:        sched.Capture(),
@@ -215,6 +231,9 @@ func (b *Bundle) sections() []string {
 	}
 	if len(b.Journal) > 0 {
 		s = append(s, "journal.json")
+	}
+	if len(b.Plans) > 0 {
+		s = append(s, "plans.json")
 	}
 	if b.Attr != nil {
 		s = append(s, "attr.json")
@@ -298,6 +317,7 @@ func (b *Bundle) WriteJSON(w io.Writer) error {
 //	goroutines.txt  all goroutine stacks
 //	kb_digest.json  predicate/rule/conflict digest of the loaded KB (if set)
 //	journal.json    the inquiry journal so far (if set)
+//	plans.json      join-plan annotations: per-body kernel mode and order
 //	sched.json      worker-lane snapshot (if sched recording was on)
 //	runtime.json    runtime/metrics reading at capture time
 //	heap.pprof      heap profile, debug=1 text form
@@ -334,6 +354,9 @@ func (b *Bundle) WriteDir(dir string) error {
 	}
 	if len(b.Journal) > 0 {
 		files["journal.json"] = append(append([]byte(nil), b.Journal...), '\n')
+	}
+	if len(b.Plans) > 0 {
+		files["plans.json"] = append(append([]byte(nil), b.Plans...), '\n')
 	}
 	if b.Attr != nil {
 		attrData, err := json.MarshalIndent(b.Attr, "", "  ")
@@ -440,6 +463,9 @@ func ReadBundle(path string) (*Bundle, error) {
 	}
 	if data, err := os.ReadFile(filepath.Join(path, "journal.json")); err == nil {
 		b.Journal = json.RawMessage(bytes.TrimSpace(data))
+	}
+	if data, err := os.ReadFile(filepath.Join(path, "plans.json")); err == nil {
+		b.Plans = json.RawMessage(bytes.TrimSpace(data))
 	}
 	if data, err := os.ReadFile(filepath.Join(path, "attr.json")); err == nil {
 		var s attr.Snapshot
